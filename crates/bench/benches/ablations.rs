@@ -1,0 +1,106 @@
+//! Ablation micro-benchmarks for the design choices DESIGN.md calls out
+//! (§3.2.3's three fast-coding techniques):
+//!
+//! * innovative-only buffering vs coding every reception — the cost of a
+//!   forwarder combine grows with the pool, so discarding non-innovative
+//!   packets bounds it at K;
+//! * vector-only innovativeness check vs full-payload Gaussian
+//!   elimination — why "operate on code vectors" wins;
+//! * pre-coding — emitting a prepared packet vs combining on demand.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gf256::slice_ops;
+use more_core::batch_natives;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rlnc::{Decoder, ForwarderBuffer, InnovationTracker, SourceEncoder};
+use std::hint::black_box;
+
+const PACKET: usize = 1500;
+const K: usize = 32;
+
+/// §3.2.3a: combining `n` buffered packets costs n·S multiply-adds. The
+/// innovative-only rule bounds n at K; a naive forwarder that buffers
+/// every reception would combine 3-5× more.
+fn bench_combine_cost_vs_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/combine_cost_vs_pool_size");
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for pool in [32usize, 96, 160] {
+        let rows: Vec<Vec<u8>> = (0..pool)
+            .map(|_| (0..PACKET).map(|_| rng.gen()).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(pool), &pool, |b, _| {
+            b.iter(|| {
+                let mut out = vec![0u8; PACKET];
+                for row in &rows {
+                    slice_ops::mul_add_assign(&mut out, row, gf256::Gf256(7));
+                }
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// §3.2.3b: checking independence on code vectors (K bytes) vs running
+/// the arriving payload through the decoder (S bytes of row ops).
+fn bench_vector_check_vs_full_elimination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/innovativeness_check");
+    let natives = batch_natives(1, 0, K, PACKET);
+    let enc = SourceEncoder::new(natives).expect("valid batch");
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+
+    let mut tracker = InnovationTracker::new(K);
+    let mut full = Decoder::new(K, PACKET);
+    for _ in 0..K - 1 {
+        let p = enc.encode(&mut rng);
+        tracker.absorb(&p.vector);
+        full.receive(&p);
+    }
+    let probe = enc.encode(&mut rng);
+
+    group.bench_function("vectors_only", |b| {
+        b.iter(|| black_box(tracker.is_innovative(&probe.vector)))
+    });
+    group.bench_function("full_payload_elimination", |b| {
+        b.iter(|| {
+            let mut d = full.clone();
+            black_box(d.receive(&probe))
+        })
+    });
+    group.finish();
+}
+
+/// §3.2.3c: handing the driver a pre-coded packet vs building the
+/// combination at transmit time.
+fn bench_precoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/precoding");
+    let natives = batch_natives(1, 0, K, PACKET);
+    let enc = SourceEncoder::new(natives).expect("valid batch");
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut buf = ForwarderBuffer::new(K, PACKET);
+    while buf.rank() < K {
+        buf.receive(&enc.encode(&mut rng), &mut rng);
+    }
+    // `emit` hands out the prepared packet and re-codes in the background
+    // slot; `precode`+`emit` forces the combine onto the critical path.
+    group.bench_function("emit_precoded", |b| {
+        b.iter(|| black_box(buf.emit(&mut rng)))
+    });
+    group.bench_function("combine_at_tx_time", |b| {
+        b.iter(|| {
+            buf.precode(&mut rng); // the K-way combine, on the hot path
+            black_box(buf.emit(&mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_combine_cost_vs_pool,
+    bench_vector_check_vs_full_elimination,
+    bench_precoding
+);
+criterion_main!(ablations);

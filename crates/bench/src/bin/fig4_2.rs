@@ -1,0 +1,93 @@
+//! Figure 4-2: CDF of unicast throughput for MORE, ExOR, and Srcr over
+//! random source–destination pairs on the testbed.
+//!
+//! Paper's findings to reproduce in shape: MORE's median ≈ +22 % over
+//! ExOR and ≈ +95 % over Srcr; challenged pairs gain up to 10–12×; the
+//! 10th percentiles (dead spots) order MORE > ExOR ≫ Srcr.
+//!
+//! `cargo run --release -p more-bench --bin fig4_2 -- --pairs 200 --packets 384`
+
+use mesh_topology::generate;
+use more_bench::common::{banner, threads, Args};
+use more_bench::stats::{cdf, median, quantile};
+use more_bench::{random_pairs, run_single, ExpConfig, Protocol};
+
+fn main() {
+    let args = Args::parse();
+    let n_pairs: usize = args.get("pairs", 60);
+    let packets: usize = args.get("packets", 192);
+    let seed: u64 = args.get("seed", 1);
+    let topo_seed: u64 = args.get("topo-seed", 1);
+
+    banner(
+        "Figure 4-2",
+        "CDF of unicast throughput (MORE vs ExOR vs Srcr)",
+    );
+    let topo = generate::testbed(topo_seed);
+    let pairs = random_pairs(&topo, n_pairs, seed);
+    println!(
+        "testbed seed {topo_seed}, {} pairs, {} packets/transfer, K=32, 5.5 Mb/s\n",
+        pairs.len(),
+        packets
+    );
+
+    let mut medians = Vec::new();
+    let mut results_by_proto = Vec::new();
+    for proto in Protocol::ALL3 {
+        let cfg = ExpConfig {
+            packets,
+            seed,
+            ..ExpConfig::default()
+        };
+        let results = more_bench::par_map(pairs.clone(), threads(), |&(s, d)| {
+            run_single(proto, &topo, s, d, &cfg)
+        });
+        let tputs: Vec<f64> = results.iter().map(|r| r.throughput_pps).collect();
+        println!("--- {} CDF (throughput pkt/s, cumulative fraction) ---", proto.name());
+        for (x, f) in cdf(&tputs).iter().step_by((tputs.len() / 12).max(1)) {
+            println!("  {x:8.1}  {f:.3}");
+        }
+        println!(
+            "  p10 {:7.1}   median {:7.1}   p90 {:7.1}   completed {}/{}\n",
+            quantile(&tputs, 0.1),
+            median(&tputs),
+            quantile(&tputs, 0.9),
+            results.iter().filter(|r| r.completed).count(),
+            results.len()
+        );
+        medians.push((proto, median(&tputs), quantile(&tputs, 0.1)));
+        results_by_proto.push((proto, results));
+    }
+
+    // Headline ratios, paper style.
+    let get = |p: Protocol| medians.iter().find(|(q, _, _)| *q == p).expect("ran");
+    let (_, m_more, p10_more) = get(Protocol::More);
+    let (_, m_exor, p10_exor) = get(Protocol::Exor);
+    let (_, m_srcr, p10_srcr) = get(Protocol::Srcr);
+    println!("paper: MORE/ExOR median ≈ 1.22, MORE/Srcr median ≈ 1.95");
+    println!(
+        "here : MORE/ExOR median = {:.2}, MORE/Srcr median = {:.2}",
+        m_more / m_exor,
+        m_more / m_srcr
+    );
+    // Max per-pair gain over Srcr (the 10-12x tail claim).
+    let srcr_res = &results_by_proto
+        .iter()
+        .find(|(p, _)| *p == Protocol::Srcr)
+        .expect("ran")
+        .1;
+    let more_res = &results_by_proto
+        .iter()
+        .find(|(p, _)| *p == Protocol::More)
+        .expect("ran")
+        .1;
+    let max_gain = more_res
+        .iter()
+        .zip(srcr_res.iter())
+        .map(|(m, s)| m.throughput_pps / s.throughput_pps.max(0.1))
+        .fold(0.0f64, f64::max);
+    println!("paper: max per-pair MORE/Srcr gain 10-12x;  here: {max_gain:.1}x");
+    println!(
+        "paper: 10th pct MORE > 50 pkt/s, Srcr ≈ 10 pkt/s;  here: MORE {p10_more:.0}, ExOR {p10_exor:.0}, Srcr {p10_srcr:.0}"
+    );
+}

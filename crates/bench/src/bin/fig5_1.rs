@@ -1,0 +1,35 @@
+//! Figure 5-1: the unbounded ETX-vs-EOTX cost gap on the diamond
+//! topology. The gap G(p, k) = cost(ETX order)/cost(EOTX order) tends to
+//! k as p → 0 (Proposition 6).
+//!
+//! `cargo run --release -p more-bench --bin fig5_1 -- --k 8`
+
+use mesh_metrics::gap::pair_gap;
+use mesh_topology::generate;
+use more_bench::common::{banner, Args};
+
+fn main() {
+    let args = Args::parse();
+    let k: usize = args.get("k", 8);
+    banner(
+        "Figure 5-1",
+        "unbounded ETX-order vs EOTX-order cost gap on the diamond",
+    );
+    println!("diamond with k = {k} middle forwarders\n");
+    println!("{:>8} | {:>10} | {:>10}", "p", "gap", "limit k");
+    let (src, _a, _b, _cs, dst) = generate::diamond_roles(k);
+    for &p in &[0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005] {
+        let topo = generate::diamond(k, p);
+        let g = pair_gap(&topo, src, dst);
+        println!("{p:>8} | {g:>10.3} | {k:>10}");
+    }
+    println!("\npaper: lim p->0 gap = k (the ETX order discards B; EOTX exploits the k forwarders)");
+
+    // And the k-sweep at fixed small p.
+    println!("\ngap vs k at p = 0.01:");
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let (src, _a, _b, _cs, dst) = generate::diamond_roles(k);
+        let topo = generate::diamond(k, 0.01);
+        println!("  k = {k:>3}: gap = {:.2}", pair_gap(&topo, src, dst));
+    }
+}

@@ -1,0 +1,34 @@
+//! Quick cross-protocol sanity comparison (not a paper figure): runs the
+//! three protocols over a handful of pairs and prints medians. Use before
+//! the full figure sweeps.
+
+use mesh_topology::generate;
+use more_bench::{random_pairs, run_single, ExpConfig, Protocol};
+
+fn main() {
+    let topo = generate::testbed(1);
+    let pairs = random_pairs(&topo, 12, 42);
+    let cfg = ExpConfig {
+        packets: 128,
+        deadline_s: 180,
+        ..ExpConfig::default()
+    };
+    for proto in Protocol::ALL3 {
+        let results: Vec<_> = pairs
+            .iter()
+            .map(|&(s, d)| run_single(proto, &topo, s, d, &cfg))
+            .collect();
+        let tputs: Vec<f64> = results.iter().map(|r| r.throughput_pps).collect();
+        let completed = results.iter().filter(|r| r.completed).count();
+        let conc: Vec<f64> = results.iter().map(|r| r.concurrency).collect();
+        println!(
+            "{:>5}: median {:7.1} pkt/s  mean {:7.1}  completed {}/{}  concurrency {:.3}",
+            proto.name(),
+            more_bench::stats::median(&tputs),
+            more_bench::stats::mean(&tputs),
+            completed,
+            pairs.len(),
+            more_bench::stats::mean(&conc),
+        );
+    }
+}

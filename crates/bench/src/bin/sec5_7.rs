@@ -1,0 +1,29 @@
+//! §5.7: the practical ETX-vs-EOTX gap on the testbed topology.
+//!
+//! The paper computes Algorithm 1's total cost under both orderings for
+//! every source–destination pair of the real testbed and finds: more than
+//! 40 % of flows completely unaffected, and a median gap among affected
+//! flows of ≈ 0.2 %.
+//!
+//! `cargo run --release -p more-bench --bin sec5_7`
+
+use mesh_metrics::gap::testbed_gap_stats;
+use mesh_topology::generate;
+use more_bench::common::{banner, Args};
+
+fn main() {
+    let args = Args::parse();
+    banner("§5.7", "ETX-order vs EOTX-order gap across all testbed pairs");
+    for seed in 0..args.get("topos", 4u64) {
+        let topo = generate::testbed(seed);
+        let stats = testbed_gap_stats(&topo, 1e-9);
+        println!(
+            "testbed seed {seed}: {} pairs | unaffected {:5.1}% | median affected gap {:6.3}% | max gap {:.3}",
+            stats.pairs,
+            100.0 * stats.unaffected_fraction,
+            100.0 * stats.median_affected_excess,
+            stats.max_gap
+        );
+    }
+    println!("\npaper: >40% of flows unaffected; median gap among affected 0.2%");
+}

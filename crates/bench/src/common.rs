@@ -1,0 +1,45 @@
+//! Shared CLI plumbing for the figure binaries.
+
+use std::collections::HashMap;
+
+/// Tiny `--key value` argument parser (no external deps).
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        let mut map = HashMap::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = args.next().unwrap_or_else(|| "true".into());
+                map.insert(key.to_string(), value);
+            }
+        }
+        Args { map }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.map
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// Worker-thread count for parallel sweeps.
+pub fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Standard figure banner.
+pub fn banner(fig: &str, what: &str) {
+    println!("==================================================================");
+    println!("{fig}: {what}");
+    println!("==================================================================");
+}

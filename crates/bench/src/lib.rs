@@ -1,0 +1,321 @@
+//! Experiment harness shared by every figure binary.
+//!
+//! One [`run_flows`] call = one testbed run of the paper: a topology, a
+//! protocol, one or more `src → dst` transfers, a deadline, a seed. The
+//! helpers here keep every figure binary to "pick pairs, sweep parameter,
+//! print the paper's series".
+//!
+//! Throughput is packets/second over the transfer, the unit of Figs
+//! 4-2…4-7. Deadline-limited runs report what was delivered by the
+//! deadline (challenged Srcr pairs — the dead spots — would otherwise run
+//! forever).
+
+pub mod common;
+pub mod stats;
+
+use baselines::{ExorAgent, ExorConfig, SrcrAgent, SrcrConfig};
+use mesh_sim::{Bitrate, SimConfig, Simulator, Time, SEC};
+use mesh_topology::{NodeId, Topology};
+use more_core::{MoreAgent, MoreConfig};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which protocol a run exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    More,
+    Exor,
+    Srcr,
+    /// Srcr with Onoe autorate (Fig 4-6).
+    SrcrAutorate,
+}
+
+impl Protocol {
+    pub const ALL3: [Protocol; 3] = [Protocol::Srcr, Protocol::Exor, Protocol::More];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::More => "MORE",
+            Protocol::Exor => "ExOR",
+            Protocol::Srcr => "Srcr",
+            Protocol::SrcrAutorate => "Srcr-autorate",
+        }
+    }
+}
+
+/// Shared experiment parameters (§4.1.2 defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Packets per transfer (the paper sends a 5 MB file ≈ 3500 packets;
+    /// experiments default to 12 batches ≈ 384 so sweeps stay tractable —
+    /// see DESIGN.md substitutions).
+    pub packets: usize,
+    /// Batch size K for MORE and ExOR.
+    pub k: usize,
+    /// Fixed data bit-rate.
+    pub bitrate: Bitrate,
+    /// Simulated-time budget per run.
+    pub deadline_s: u64,
+    /// RNG seed (medium + protocol randomness).
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            packets: 384,
+            k: 32,
+            bitrate: Bitrate::B5_5,
+            deadline_s: 240,
+            seed: 1,
+        }
+    }
+}
+
+/// One flow's outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowResult {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Delivered packets / elapsed seconds.
+    pub throughput_pps: f64,
+    pub delivered: usize,
+    pub completed: bool,
+    /// Fraction of airtime with ≥2 concurrent transmissions (spatial
+    /// reuse indicator, whole-run).
+    pub concurrency: f64,
+    /// Total data-frame transmissions in the run (whole-run, shared by
+    /// all flows of the run).
+    pub total_tx: u64,
+}
+
+fn throughput(delivered: usize, completed_at: Option<Time>, deadline: Time) -> (f64, bool) {
+    match completed_at {
+        Some(t) if t > 0 => (delivered as f64 / (t as f64 / SEC as f64), true),
+        _ => (delivered as f64 / (deadline as f64 / SEC as f64), false),
+    }
+}
+
+/// Runs `flows` concurrently under `proto` and returns per-flow results.
+pub fn run_flows(
+    proto: Protocol,
+    topo: &Topology,
+    flows: &[(NodeId, NodeId)],
+    cfg: &ExpConfig,
+    sim_cfg: &SimConfig,
+) -> Vec<FlowResult> {
+    let deadline = cfg.deadline_s * SEC;
+    let mut sim_cfg = *sim_cfg;
+    sim_cfg.bitrate = cfg.bitrate;
+    match proto {
+        Protocol::More => {
+            let mcfg = MoreConfig {
+                k: cfg.k,
+                ..MoreConfig::default()
+            };
+            let mut agent = MoreAgent::new(topo.clone(), mcfg);
+            for (i, &(s, d)) in flows.iter().enumerate() {
+                agent.add_flow(i as u32 + 1, s, d, cfg.packets);
+            }
+            let mut sim = Simulator::new(topo.clone(), sim_cfg, agent, cfg.seed);
+            for &(s, _) in flows {
+                sim.kick(s);
+            }
+            sim.run_until(deadline, |a: &MoreAgent| a.all_done());
+            let conc = concurrency(&sim.stats);
+            flows
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| {
+                    let p = sim.agent.progress(i);
+                    let (tput, completed) =
+                        throughput(p.delivered_packets, p.completed_at, deadline);
+                    FlowResult {
+                        src: s,
+                        dst: d,
+                        throughput_pps: tput,
+                        delivered: p.delivered_packets,
+                        completed,
+                        concurrency: conc,
+                        total_tx: sim.stats.total_tx(),
+                    }
+                })
+                .collect()
+        }
+        Protocol::Exor => {
+            let ecfg = ExorConfig {
+                k: cfg.k,
+                ..ExorConfig::default()
+            };
+            let mut agent = ExorAgent::new(topo.clone(), ecfg);
+            for (i, &(s, d)) in flows.iter().enumerate() {
+                let fi = agent.add_flow(i as u32 + 1, s, d, cfg.packets);
+                agent.start(fi);
+            }
+            let mut sim = Simulator::new(topo.clone(), sim_cfg, agent, cfg.seed);
+            for &(s, _) in flows {
+                sim.kick(s);
+            }
+            sim.run_until(deadline, |a: &ExorAgent| a.all_done());
+            let conc = concurrency(&sim.stats);
+            flows
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| {
+                    let p = sim.agent.progress(i);
+                    let (tput, completed) = throughput(p.delivered, p.completed_at, deadline);
+                    FlowResult {
+                        src: s,
+                        dst: d,
+                        throughput_pps: tput,
+                        delivered: p.delivered,
+                        completed,
+                        concurrency: conc,
+                        total_tx: sim.stats.total_tx(),
+                    }
+                })
+                .collect()
+        }
+        Protocol::Srcr | Protocol::SrcrAutorate => {
+            let scfg = SrcrConfig {
+                autorate: proto == Protocol::SrcrAutorate,
+                ..SrcrConfig::default()
+            };
+            let mut agent = SrcrAgent::new(topo.clone(), scfg, cfg.bitrate);
+            for (i, &(s, d)) in flows.iter().enumerate() {
+                agent.add_flow(i as u32 + 1, s, d, cfg.packets);
+            }
+            let mut sim = Simulator::new(topo.clone(), sim_cfg, agent, cfg.seed);
+            for &(s, _) in flows {
+                sim.kick(s);
+            }
+            sim.run_until(deadline, |a: &SrcrAgent| a.all_done());
+            let conc = concurrency(&sim.stats);
+            flows
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| {
+                    let p = sim.agent.progress(i);
+                    let (tput, completed) = throughput(p.delivered, p.completed_at, deadline);
+                    FlowResult {
+                        src: s,
+                        dst: d,
+                        throughput_pps: tput,
+                        delivered: p.delivered,
+                        completed,
+                        concurrency: conc,
+                        total_tx: sim.stats.total_tx(),
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+fn concurrency(stats: &mesh_sim::SimStats) -> f64 {
+    let total = stats.total_airtime();
+    if total == 0 {
+        0.0
+    } else {
+        stats.concurrent_airtime as f64 / total as f64
+    }
+}
+
+/// Runs one `src → dst` transfer.
+pub fn run_single(
+    proto: Protocol,
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    cfg: &ExpConfig,
+) -> FlowResult {
+    run_flows(proto, topo, &[(src, dst)], cfg, &SimConfig::default())[0]
+}
+
+/// Deterministically samples `count` distinct reachable ordered pairs.
+pub fn random_pairs(topo: &Topology, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut all: Vec<(NodeId, NodeId)> = Vec::new();
+    for s in topo.nodes() {
+        for d in topo.nodes() {
+            if s != d && topo.hop_count(s, d).is_some() {
+                all.push((s, d));
+            }
+        }
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(count);
+    all
+}
+
+/// Maps `f` over `items` on `threads` worker threads, preserving order.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let items_ref = &items;
+    let f_ref = &f;
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f_ref(&items_ref[i]);
+                results_mutex.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    drop(results_mutex);
+    results.into_iter().map(|r| r.expect("all filled")).collect()
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+    use mesh_topology::generate;
+
+    #[test]
+    fn all_three_protocols_complete_a_small_transfer() {
+        let topo = generate::testbed(1);
+        let cfg = ExpConfig {
+            packets: 32,
+            deadline_s: 240,
+            ..ExpConfig::default()
+        };
+        for proto in Protocol::ALL3 {
+            let r = run_single(proto, &topo, NodeId(0), NodeId(19), &cfg);
+            assert!(r.completed, "{} did not complete", proto.name());
+            assert_eq!(r.delivered, 32, "{}", proto.name());
+            assert!(r.throughput_pps > 1.0, "{}", proto.name());
+        }
+    }
+
+    #[test]
+    fn random_pairs_are_deterministic_and_reachable() {
+        let topo = generate::testbed(2);
+        let a = random_pairs(&topo, 30, 7);
+        let b = random_pairs(&topo, 30, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        for (s, d) in a {
+            assert_ne!(s, d);
+            assert!(topo.hop_count(s, d).is_some());
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect(), 8, |&x: &i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,92 @@
+//! Small statistics helpers for the figure harnesses.
+
+/// Sorted copy of the input.
+fn sorted(values: &[f64]) -> Vec<f64> {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metrics"));
+    v
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on the sorted data.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q));
+    let v = sorted(values);
+    let idx = ((q * (v.len() - 1) as f64).round() as usize).min(v.len() - 1);
+    v[idx]
+}
+
+/// Median (0.5-quantile).
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty data");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// CDF sample points `(value, cumulative fraction)` — what the paper's
+/// CDF figures plot.
+pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let v = sorted(values);
+    let n = v.len() as f64;
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Renders a CDF as a fixed-grid ASCII table of the requested quantiles.
+pub fn cdf_table(label: &str, values: &[f64], quantiles: &[f64]) -> String {
+    let mut out = format!("{label:>14} |");
+    for &q in quantiles {
+        out.push_str(&format!(" p{:02.0}={:8.1}", q * 100.0, quantile(values, q)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(median(&v), 3.0);
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let points = cdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0], (1.0, 1.0 / 3.0));
+        assert_eq!(points[2], (3.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_median_panics() {
+        let _ = median(&[]);
+    }
+}

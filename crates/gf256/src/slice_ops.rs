@@ -1,0 +1,222 @@
+//! Bulk operations on byte slices interpreted as vectors over GF(2⁸).
+//!
+//! These are the kernels behind packet coding and decoding: a coded packet
+//! is `Σ cᵢ·pᵢ`, so producing one is a sequence of [`mul_add_assign`] calls
+//! (one per stored packet), and decoding is row reduction built from
+//! [`mul_assign`] and [`mul_add_assign`].
+//!
+//! All kernels fetch the 256-byte row of the multiplication table for the
+//! scalar once and then stream through the data, which is what makes the
+//! cost "K finite-field multiplications per byte" (thesis §4.6a) a table
+//! walk rather than a polynomial reduction per byte.
+
+use crate::tables::MUL;
+use crate::Gf256;
+
+/// `dst[i] ^= src[i]` — add (XOR) `src` into `dst`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_assign(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// `dst[i] = c * dst[i]` — scale a slice in place.
+#[inline]
+pub fn mul_assign(dst: &mut [u8], c: Gf256) {
+    match c {
+        Gf256::ZERO => dst.fill(0),
+        Gf256::ONE => {}
+        _ => {
+            let row = &MUL[c.0 as usize];
+            for d in dst.iter_mut() {
+                *d = row[*d as usize];
+            }
+        }
+    }
+}
+
+/// `dst[i] ^= c * src[i]` — the multiply-accumulate at the heart of coding.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn mul_add_assign(dst: &mut [u8], src: &[u8], c: Gf256) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    match c {
+        Gf256::ZERO => {}
+        Gf256::ONE => add_assign(dst, src),
+        _ => {
+            let row = &MUL[c.0 as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= row[*s as usize];
+            }
+        }
+    }
+}
+
+/// `out[i] = c * src[i]` — scale into a fresh output slice.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn mul_into(out: &mut [u8], src: &[u8], c: Gf256) {
+    assert_eq!(out.len(), src.len(), "slice length mismatch");
+    match c {
+        Gf256::ZERO => out.fill(0),
+        Gf256::ONE => out.copy_from_slice(src),
+        _ => {
+            let row = &MUL[c.0 as usize];
+            for (o, s) in out.iter_mut().zip(src) {
+                *o = row[*s as usize];
+            }
+        }
+    }
+}
+
+/// Dot product of two equal-length byte slices over GF(2⁸).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[u8], b: &[u8]) -> Gf256 {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    let mut acc = 0u8;
+    for (&x, &y) in a.iter().zip(b) {
+        acc ^= MUL[x as usize][y as usize];
+    }
+    Gf256(acc)
+}
+
+/// Linear combination: `out = Σ coeffs[j] * rows[j]`, all rows equal length.
+///
+/// # Panics
+///
+/// Panics if `coeffs.len() != rows.len()` or any row length differs from
+/// `out`.
+pub fn linear_combination(out: &mut [u8], rows: &[&[u8]], coeffs: &[Gf256]) {
+    assert_eq!(rows.len(), coeffs.len(), "rows/coeffs length mismatch");
+    out.fill(0);
+    for (row, &c) in rows.iter().zip(coeffs) {
+        mul_add_assign(out, row, c);
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    #[test]
+    fn add_assign_is_xor() {
+        let mut a = vec![0x00, 0xFF, 0x55];
+        add_assign(&mut a, &[0x0F, 0xF0, 0x55]);
+        assert_eq!(a, vec![0x0F, 0x0F, 0x00]);
+    }
+
+    #[test]
+    fn add_assign_self_inverse() {
+        let orig = vec![1u8, 2, 3, 4, 5];
+        let mut a = orig.clone();
+        let b = vec![9u8, 8, 7, 6, 5];
+        add_assign(&mut a, &b);
+        add_assign(&mut a, &b);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn mul_assign_zero_one() {
+        let mut a = vec![1u8, 2, 3];
+        mul_assign(&mut a, Gf256::ONE);
+        assert_eq!(a, vec![1, 2, 3]);
+        mul_assign(&mut a, Gf256::ZERO);
+        assert_eq!(a, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn mul_assign_then_inverse_restores() {
+        let orig: Vec<u8> = (0..=255).collect();
+        for c in [Gf256(2), Gf256(0x53), Gf256(0xFF)] {
+            let mut a = orig.clone();
+            mul_assign(&mut a, c);
+            mul_assign(&mut a, c.inv());
+            assert_eq!(a, orig, "failed for c={c:?}");
+        }
+    }
+
+    #[test]
+    fn mul_add_assign_matches_scalar_ops() {
+        let src: Vec<u8> = (10..20).collect();
+        let mut dst: Vec<u8> = (50..60).collect();
+        let snapshot = dst.clone();
+        let c = Gf256(0x1D);
+        mul_add_assign(&mut dst, &src, c);
+        for i in 0..src.len() {
+            assert_eq!(Gf256(dst[i]), Gf256(snapshot[i]) + Gf256(src[i]) * c);
+        }
+    }
+
+    #[test]
+    fn mul_into_matches_mul_assign() {
+        let src: Vec<u8> = (0..=255).collect();
+        let c = Gf256(0xA7);
+        let mut out = vec![0u8; 256];
+        mul_into(&mut out, &src, c);
+        let mut expect = src.clone();
+        mul_assign(&mut expect, c);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn dot_product() {
+        // (1,2,3)·(4,5,6) = 1*4 + 2*5 + 3*6
+        let expect = Gf256(1) * Gf256(4) + Gf256(2) * Gf256(5) + Gf256(3) * Gf256(6);
+        assert_eq!(dot(&[1, 2, 3], &[4, 5, 6]), expect);
+    }
+
+    #[test]
+    fn linear_combination_two_rows() {
+        let r1 = [1u8, 0, 0, 7];
+        let r2 = [0u8, 1, 0, 9];
+        let mut out = [0u8; 4];
+        linear_combination(&mut out, &[&r1, &r2], &[Gf256(3), Gf256(5)]);
+        for i in 0..4 {
+            assert_eq!(
+                Gf256(out[i]),
+                Gf256(r1[i]) * Gf256(3) + Gf256(r2[i]) * Gf256(5)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut a = [0u8; 3];
+        mul_add_assign(&mut a, &[0u8; 4], Gf256(2));
+    }
+
+    #[test]
+    fn distributivity_over_slices() {
+        // c*(a+b) == c*a + c*b elementwise.
+        let a: Vec<u8> = (0..100).map(|i| (i * 7) as u8).collect();
+        let b: Vec<u8> = (0..100).map(|i| (i * 13 + 1) as u8).collect();
+        let c = Gf256(0x9E);
+
+        let mut lhs = a.clone();
+        add_assign(&mut lhs, &b);
+        mul_assign(&mut lhs, c);
+
+        let mut rhs = vec![0u8; 100];
+        mul_into(&mut rhs, &a, c);
+        mul_add_assign(&mut rhs, &b, c);
+
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based verification that `Gf256` is a field and that the slice
+//! kernels agree with scalar arithmetic.
+
+use more_gf256::{slice_ops, Gf256};
+use proptest::prelude::*;
+
+fn gf() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256)
+}
+
+fn gf_nonzero() -> impl Strategy<Value = Gf256> {
+    (1u8..=255).prop_map(Gf256)
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in gf(), b in gf()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_associates(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_commutes(a in gf(), b in gf()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_associates(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributive_law(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in gf(), b in gf_nonzero()) {
+        prop_assert_eq!((a * b) / b, a);
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in gf(), b in gf()) {
+        prop_assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in gf_nonzero(), e1 in 0u32..300, e2 in 0u32..300) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn slice_mul_add_matches_scalar(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        src in proptest::collection::vec(any::<u8>(), 1..512),
+        c in gf(),
+    ) {
+        let n = data.len().min(src.len());
+        let mut dst = data[..n].to_vec();
+        slice_ops::mul_add_assign(&mut dst, &src[..n], c);
+        for i in 0..n {
+            prop_assert_eq!(Gf256(dst[i]), Gf256(data[i]) + Gf256(src[i]) * c);
+        }
+    }
+
+    #[test]
+    fn slice_scale_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        c in gf_nonzero(),
+    ) {
+        let mut v = data.clone();
+        slice_ops::mul_assign(&mut v, c);
+        slice_ops::mul_assign(&mut v, c.inv());
+        prop_assert_eq!(v, data);
+    }
+
+    #[test]
+    fn dot_is_bilinear(
+        a in proptest::collection::vec(any::<u8>(), 8),
+        b in proptest::collection::vec(any::<u8>(), 8),
+        c in gf(),
+    ) {
+        // dot(c*a, b) == c * dot(a, b)
+        let mut ca = a.clone();
+        slice_ops::mul_assign(&mut ca, c);
+        prop_assert_eq!(slice_ops::dot(&ca, &b), c * slice_ops::dot(&a, &b));
+    }
+}

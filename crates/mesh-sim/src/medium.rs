@@ -1,0 +1,422 @@
+//! The shared wireless medium: who senses whom, who interferes at whom,
+//! and which receivers decode a finished transmission.
+//!
+//! Sensing and interference relations are precomputed from the topology:
+//! any directed link (`p > 0`, either direction) is both sensable and
+//! interfering; when node positions are known, the carrier-sense and
+//! interference *ranges* extend those relations beyond decodable links
+//! (real radios defer to, and are jammed by, signals too weak to decode).
+//!
+//! Reception is evaluated when a transmission ends:
+//!
+//! 1. half-duplex — a node that transmitted during any part of the frame
+//!    cannot receive it;
+//! 2. collision — any other transmission overlapping the frame's airtime
+//!    that interferes at the receiver destroys the frame, unless capture:
+//!    the frame's delivery probability exceeds `capture_ratio ×` the
+//!    strongest overlapping interferer's (a delivery-probability proxy for
+//!    SINR);
+//! 3. loss — surviving frames are delivered with the link's probability,
+//!    independently per receiver (§5.3.1 model).
+
+use crate::{SimConfig, Time};
+use mesh_topology::{NodeId, Topology};
+use rand::Rng;
+
+/// A transmission on the air (or recently finished).
+#[derive(Clone, Debug)]
+pub struct Transmission {
+    pub id: u64,
+    pub tx: NodeId,
+    pub start: Time,
+    pub end: Time,
+}
+
+/// Precomputed radio relations plus the set of in-flight transmissions.
+#[derive(Clone, Debug)]
+pub struct Medium {
+    n: usize,
+    /// `sense[a][b]`: a transmission by `a` keeps `b`'s MAC deferring.
+    sense: Vec<Vec<bool>>,
+    /// `interfere[a][r]`: a transmission by `a` collides with frames
+    /// arriving at `r`.
+    interfere: Vec<Vec<bool>>,
+    /// All transmissions whose `end` is within the retention horizon.
+    active: Vec<Transmission>,
+    horizon: Time,
+}
+
+impl Medium {
+    /// Builds the medium for `topo` under `cfg`.
+    pub fn new(topo: &Topology, cfg: &SimConfig) -> Self {
+        let n = topo.n();
+        let mut sense = vec![vec![false; n]; n];
+        let mut interfere = vec![vec![false; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let linked = topo.delivery(NodeId(a), NodeId(b)) > 0.0
+                    || topo.delivery(NodeId(b), NodeId(a)) > 0.0;
+                let (in_cs, in_int) = match topo.positions() {
+                    Some(pos) => {
+                        let d = pos[a].distance(&pos[b], 10.0);
+                        (d <= cfg.carrier_sense_range, d <= cfg.interference_range)
+                    }
+                    None => (false, false),
+                };
+                sense[a][b] = linked || in_cs;
+                interfere[a][b] = linked || in_int;
+            }
+        }
+        Medium {
+            n,
+            sense,
+            interfere,
+            active: Vec::new(),
+            horizon: 100 * crate::MS,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Does a transmission by `a` keep `b` deferring?
+    #[inline]
+    pub fn senses(&self, a: NodeId, b: NodeId) -> bool {
+        self.sense[a.0][b.0]
+    }
+
+    /// Does a transmission by `a` interfere at receiver `r`?
+    #[inline]
+    pub fn interferes(&self, a: NodeId, r: NodeId) -> bool {
+        self.interfere[a.0][r.0]
+    }
+
+    /// Registers a transmission starting now.
+    pub fn begin(&mut self, t: Transmission) {
+        debug_assert!(t.start <= t.end);
+        self.active.push(t);
+    }
+
+    /// Drops records older than the retention horizon.
+    pub fn prune(&mut self, now: Time) {
+        let horizon = self.horizon;
+        self.active.retain(|t| t.end + horizon >= now);
+    }
+
+    /// Latest end time among transmissions currently on the air that
+    /// `node` senses; `None` if the medium is idle at `node`.
+    pub fn busy_until(&self, node: NodeId, now: Time) -> Option<Time> {
+        self.active
+            .iter()
+            .filter(|t| t.start <= now && now < t.end && t.tx != node)
+            .filter(|t| self.senses(t.tx, node))
+            .map(|t| t.end)
+            .max()
+    }
+
+    /// True when `node` senses an ongoing transmission.
+    pub fn is_busy(&self, node: NodeId, now: Time) -> bool {
+        self.busy_until(node, now).is_some()
+    }
+
+    /// Evaluates which nodes decode transmission `id` (call at its end).
+    ///
+    /// Returns the receiver set; draws per-receiver Bernoulli losses from
+    /// `rng`. `collisions`/`captures` counters are incremented for the
+    /// stats module.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_reception(
+        &self,
+        id: u64,
+        topo: &Topology,
+        cfg: &SimConfig,
+        rng: &mut impl Rng,
+        collisions: &mut u64,
+        captures: &mut u64,
+    ) -> Vec<NodeId> {
+        let f = self
+            .active
+            .iter()
+            .find(|t| t.id == id)
+            .expect("evaluating unknown transmission");
+        let mut out = Vec::new();
+        for r in 0..self.n {
+            let r = NodeId(r);
+            if r == f.tx {
+                continue;
+            }
+            let p = topo.delivery(f.tx, r);
+            if p <= 0.0 {
+                continue;
+            }
+            // Half-duplex: r transmitting during any part of f's airtime.
+            let r_was_transmitting = self
+                .active
+                .iter()
+                .any(|t| t.tx == r && overlaps(t, f));
+            if r_was_transmitting {
+                continue;
+            }
+            // Strongest overlapping interferer at r.
+            let strongest: f64 = self
+                .active
+                .iter()
+                .filter(|t| t.id != f.id && t.tx != r && overlaps(t, f))
+                .filter(|t| self.interferes(t.tx, r))
+                .map(|t| topo.delivery(t.tx, r).max(0.05))
+                .fold(0.0, f64::max);
+            if strongest > 0.0 {
+                *collisions += 1;
+                if p < cfg.capture_ratio * strongest {
+                    continue; // destroyed
+                }
+                *captures += 1;
+            }
+            if rng.gen::<f64>() < p {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// The record for a transmission id, if still retained.
+    pub fn transmission(&self, id: u64) -> Option<&Transmission> {
+        self.active.iter().find(|t| t.id == id)
+    }
+
+    /// Total µs of overlap between `[start, end)` and other nodes'
+    /// transmissions currently on the air — the spatial-reuse indicator.
+    pub fn overlap_with(&self, node: NodeId, start: Time, end: Time) -> Time {
+        self.active
+            .iter()
+            .filter(|t| t.tx != node && t.start < end && start < t.end)
+            .map(|t| t.end.min(end) - t.start.max(start))
+            .sum()
+    }
+
+    /// End time of `node`'s own in-air transmission, if any (half-duplex
+    /// guard for the MAC).
+    pub fn own_tx_until(&self, node: NodeId, now: Time) -> Option<Time> {
+        self.active
+            .iter()
+            .filter(|t| t.tx == node && t.start <= now && now < t.end)
+            .map(|t| t.end)
+            .max()
+    }
+}
+
+#[inline]
+fn overlaps(a: &Transmission, b: &Transmission) -> bool {
+    a.start < b.end && b.start < a.end
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+    use mesh_topology::generate;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    fn line5() -> Topology {
+        // 30 m spacing: adjacent nodes linked, carrier sense 42 m reaches
+        // one hop but not two.
+        generate::line(4, 0.9, 0.0, 30.0)
+    }
+
+    #[test]
+    fn sense_relations_follow_links_and_range() {
+        let t = line5();
+        let m = Medium::new(&t, &cfg());
+        assert!(m.senses(NodeId(0), NodeId(1))); // linked
+        assert!(!m.senses(NodeId(0), NodeId(2))); // 60 m: no link, out of CS range
+        assert!(!m.senses(NodeId(0), NodeId(4))); // 120 m
+        assert!(m.interferes(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn busy_only_within_sense_range() {
+        let t = line5();
+        let mut m = Medium::new(&t, &cfg());
+        m.begin(Transmission {
+            id: 1,
+            tx: NodeId(0),
+            start: 0,
+            end: 1000,
+        });
+        assert!(m.is_busy(NodeId(1), 500));
+        assert!(!m.is_busy(NodeId(2), 500), "spatial reuse: node 2 clear");
+        assert!(!m.is_busy(NodeId(3), 500));
+        assert!(!m.is_busy(NodeId(1), 1000), "ends at end time");
+        // The transmitter itself is not 'busy' from sensing its own frame.
+        assert!(!m.is_busy(NodeId(0), 500));
+    }
+
+    #[test]
+    fn reception_is_bernoulli_at_link_probability() {
+        let t = generate::line(1, 0.7, 0.0, 20.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut got = 0;
+        let trials = 4000;
+        let (mut col, mut cap) = (0, 0);
+        for i in 0..trials {
+            let mut m = Medium::new(&t, &cfg());
+            m.begin(Transmission {
+                id: i,
+                tx: NodeId(0),
+                start: 0,
+                end: 100,
+            });
+            let rx = m.evaluate_reception(i, &t, &cfg(), &mut rng, &mut col, &mut cap);
+            got += rx.len();
+        }
+        let rate = got as f64 / trials as f64;
+        assert!((rate - 0.7).abs() < 0.03, "empirical delivery {rate}");
+        assert_eq!(col, 0);
+    }
+
+    #[test]
+    fn overlapping_equal_strength_frames_collide() {
+        // Nodes 0 and 2 both linked to 1 with equal probability: no capture.
+        let t = mesh_topology::Topology::from_matrix(
+            "y",
+            vec![
+                vec![0.0, 0.9, 0.0],
+                vec![0.9, 0.0, 0.9],
+                vec![0.0, 0.9, 0.0],
+            ],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut m = Medium::new(&t, &cfg());
+        m.begin(Transmission {
+            id: 1,
+            tx: NodeId(0),
+            start: 0,
+            end: 100,
+        });
+        m.begin(Transmission {
+            id: 2,
+            tx: NodeId(2),
+            start: 50,
+            end: 150,
+        });
+        let (mut col, mut cap) = (0, 0);
+        let rx1 = m.evaluate_reception(1, &t, &cfg(), &mut rng, &mut col, &mut cap);
+        let rx2 = m.evaluate_reception(2, &t, &cfg(), &mut rng, &mut col, &mut cap);
+        assert!(rx1.is_empty(), "frame 1 should be destroyed at node 1");
+        assert!(rx2.is_empty(), "frame 2 should be destroyed at node 1");
+        assert_eq!(col, 2);
+        assert_eq!(cap, 0);
+    }
+
+    #[test]
+    fn capture_lets_much_stronger_frame_survive() {
+        // Node 1 hears node 0 at 0.95 and node 2 at 0.2: 0.95 > 1.8 × 0.2,
+        // so node 0's frame captures.
+        let t = mesh_topology::Topology::from_matrix(
+            "cap",
+            vec![
+                vec![0.0, 0.95, 0.0],
+                vec![0.95, 0.0, 0.2],
+                vec![0.0, 0.2, 0.0],
+            ],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut wins = 0;
+        let trials = 2000;
+        for i in 0..trials {
+            let mut m = Medium::new(&t, &cfg());
+            m.begin(Transmission {
+                id: 2 * i,
+                tx: NodeId(0),
+                start: 0,
+                end: 100,
+            });
+            m.begin(Transmission {
+                id: 2 * i + 1,
+                tx: NodeId(2),
+                start: 10,
+                end: 110,
+            });
+            let (mut col, mut cap) = (0, 0);
+            let rx =
+                m.evaluate_reception(2 * i, &t, &cfg(), &mut rng, &mut col, &mut cap);
+            if !rx.is_empty() {
+                wins += 1;
+                assert_eq!(cap, 1);
+            }
+        }
+        let rate = wins as f64 / trials as f64;
+        assert!((rate - 0.95).abs() < 0.03, "capture rate {rate}");
+    }
+
+    #[test]
+    fn half_duplex_blocks_reception() {
+        let t = generate::line(1, 1.0, 0.0, 20.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut m = Medium::new(&t, &cfg());
+        // Node 1 transmits while node 0's frame is on the air.
+        m.begin(Transmission {
+            id: 1,
+            tx: NodeId(0),
+            start: 0,
+            end: 100,
+        });
+        m.begin(Transmission {
+            id: 2,
+            tx: NodeId(1),
+            start: 20,
+            end: 120,
+        });
+        let (mut col, mut cap) = (0, 0);
+        let rx = m.evaluate_reception(1, &t, &cfg(), &mut rng, &mut col, &mut cap);
+        assert!(rx.is_empty(), "half-duplex node 1 must not receive");
+    }
+
+    #[test]
+    fn non_overlapping_frames_do_not_collide() {
+        let t = generate::line(1, 1.0, 0.0, 20.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut m = Medium::new(&t, &cfg());
+        m.begin(Transmission {
+            id: 1,
+            tx: NodeId(0),
+            start: 0,
+            end: 100,
+        });
+        m.begin(Transmission {
+            id: 2,
+            tx: NodeId(0),
+            start: 100,
+            end: 200,
+        });
+        let (mut col, mut cap) = (0, 0);
+        let rx = m.evaluate_reception(1, &t, &cfg(), &mut rng, &mut col, &mut cap);
+        assert_eq!(rx, vec![NodeId(1)]);
+        assert_eq!(col, 0);
+    }
+
+    #[test]
+    fn prune_retains_recent() {
+        let t = generate::line(1, 1.0, 0.0, 20.0);
+        let mut m = Medium::new(&t, &cfg());
+        m.begin(Transmission {
+            id: 1,
+            tx: NodeId(0),
+            start: 0,
+            end: 100,
+        });
+        m.prune(50 * crate::MS);
+        assert!(m.transmission(1).is_some());
+        m.prune(200 * crate::MS);
+        assert!(m.transmission(1).is_none());
+    }
+}

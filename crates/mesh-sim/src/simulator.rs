@@ -1,0 +1,494 @@
+//! The discrete-event engine: event queue, per-node CSMA/CA MAC state
+//! machines, and the agent callback plumbing.
+//!
+//! Everything advances through a binary-heap event queue keyed on
+//! `(time, sequence)`, so simultaneous events run in scheduling order and
+//! every run is a pure function of `(topology, agent, seed)`.
+//!
+//! ## MAC model
+//!
+//! Each node is `Idle`, `Waiting` (a transmit attempt is scheduled),
+//! `Transmitting`, or `AwaitAck`. A node that wants the medium samples a
+//! backoff of `DIFS + U(0..=cw)·slot`; if the medium is busy (within its
+//! carrier-sense set) when the attempt fires, it re-arms at the sensed
+//! busy-end plus a fresh backoff — an event-driven approximation of
+//! slotted CSMA/CA that preserves what matters here: contention,
+//! collisions between simultaneous winners, spatial reuse between
+//! non-sensing nodes, and exponential backoff pressure on retries.
+//!
+//! Unicast frames get SIFS-spaced MAC ACKs (real frames on the medium:
+//! they occupy airtime, are lost to the link's loss rate, and can
+//! collide); broadcasts are fire-and-forget (802.11 semantics — the basis
+//! of both MORE's and ExOR's designs).
+
+use crate::medium::{Medium, Transmission};
+use crate::stats::SimStats;
+use crate::{Frame, NodeAgent, OutFrame, SimConfig, Time, TxOutcome};
+use mesh_topology::{NodeId, Topology};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What the engine schedules.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum EventKind {
+    /// A node's MAC attempts to seize the medium.
+    TryTx { node: NodeId },
+    /// Transmission `id` leaves the air.
+    TxEnd { id: u64 },
+    /// Unicast ACK wait expired (stale unless `seq` matches).
+    AckTimeout { node: NodeId, seq: u64 },
+    /// A receiver emits its MAC ACK (SIFS after the data frame).
+    StartMacAck { node: NodeId, data_id: u64 },
+    /// Protocol timer.
+    Timer { node: NodeId, token: u64 },
+}
+
+/// Callback context handed to [`NodeAgent`] methods.
+///
+/// Mutations (timers, backlog kicks) are queued and applied by the engine
+/// when the callback returns.
+pub struct Ctx<'a> {
+    now: Time,
+    rng: &'a mut ChaCha8Rng,
+    timers: Vec<(NodeId, Time, u64)>,
+    kicks: Vec<NodeId>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time, µs.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The run's deterministic RNG (shared with the MAC and medium).
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        self.rng
+    }
+
+    /// Schedules [`NodeAgent::on_timer`] for `node` after `delay` µs.
+    pub fn set_timer(&mut self, node: NodeId, delay: Time, token: u64) {
+        self.timers.push((node, delay, token));
+    }
+
+    /// Tells the MAC at `node` that the protocol now has frames to send;
+    /// an idle MAC will schedule a transmit attempt.
+    pub fn mark_backlogged(&mut self, node: NodeId) {
+        self.kicks.push(node);
+    }
+}
+
+/// Node MAC state.
+#[derive(Debug)]
+enum MacState {
+    Idle,
+    /// A `TryTx` is scheduled.
+    Waiting,
+    /// A data frame (or our MAC ACK) is on the air.
+    Transmitting,
+    /// Unicast sent; waiting for the MAC ACK.
+    AwaitAck { seq: u64 },
+}
+
+/// An unacknowledged unicast retained for retransmission.
+struct CurrentTx<P> {
+    frame: OutFrame<P>,
+    retries: u32,
+    cw: u32,
+}
+
+/// What is on the air under a given transmission id.
+enum InFlight<P> {
+    Data { frame: Frame<P> },
+    MacAck { to: NodeId },
+}
+
+/// The discrete-event simulator.
+///
+/// Generic over the protocol agent `A`; see the crate docs for the
+/// callback contract.
+pub struct Simulator<A: NodeAgent> {
+    topo: Topology,
+    cfg: SimConfig,
+    pub agent: A,
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(Time, u64, EventKind)>>,
+    rng: ChaCha8Rng,
+    medium: Medium,
+    states: Vec<MacState>,
+    current: Vec<Option<CurrentTx<A::Payload>>>,
+    /// Generation counters for ACK timeouts.
+    ack_seq: Vec<u64>,
+    in_flight: std::collections::HashMap<u64, InFlight<A::Payload>>,
+    next_tx_id: u64,
+    pub stats: SimStats,
+}
+
+impl<A: NodeAgent> Simulator<A> {
+    /// Builds a simulator over `topo` for `agent`, deterministic in `seed`.
+    pub fn new(topo: Topology, cfg: SimConfig, agent: A, seed: u64) -> Self {
+        let n = topo.n();
+        let medium = Medium::new(&topo, &cfg);
+        Simulator {
+            topo,
+            cfg,
+            agent,
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            medium,
+            states: (0..n).map(|_| MacState::Idle).collect(),
+            current: (0..n).map(|_| None).collect(),
+            ack_seq: vec![0; n],
+            in_flight: std::collections::HashMap::new(),
+            next_tx_id: 0,
+            stats: SimStats::new(n),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The MAC/PHY configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Kick a node's MAC from outside the event loop (e.g. flow start).
+    pub fn kick(&mut self, node: NodeId) {
+        self.kick_at(node, self.now);
+    }
+
+    /// Debug view of a node's MAC state name.
+    pub fn mac_state_name(&self, node: NodeId) -> &'static str {
+        match self.states[node.0] {
+            MacState::Idle => "Idle",
+            MacState::Waiting => "Waiting",
+            MacState::Transmitting => "Transmitting",
+            MacState::AwaitAck { .. } => "AwaitAck",
+        }
+    }
+
+    /// Number of events waiting in the queue (debugging aid).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn kick_at(&mut self, node: NodeId, at: Time) {
+        if matches!(self.states[node.0], MacState::Idle) {
+            self.states[node.0] = MacState::Waiting;
+            let delay = self.backoff_delay(self.cfg.cw_min);
+            self.push(at + delay, EventKind::TryTx { node });
+        }
+    }
+
+    /// Set a protocol timer from outside the event loop.
+    pub fn set_timer(&mut self, node: NodeId, delay: Time, token: u64) {
+        self.push(self.now + delay, EventKind::Timer { node, token });
+    }
+
+    fn push(&mut self, at: Time, ev: EventKind) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, ev)));
+    }
+
+    fn backoff_delay(&mut self, cw: u32) -> Time {
+        let slots = self.rng.gen_range(0..=cw) as Time;
+        self.cfg.difs_us + slots * self.cfg.slot_us
+    }
+
+    /// Runs until `deadline` or until `stop(&agent)` or event exhaustion.
+    ///
+    /// Returns the simulated time at exit.
+    pub fn run_until(&mut self, deadline: Time, mut stop: impl FnMut(&A) -> bool) -> Time {
+        while let Some(Reverse((at, _, ev))) = self.queue.pop() {
+            if at > deadline {
+                // Leave the event for a future run; time stops at deadline.
+                self.push_back(at, ev);
+                self.now = deadline;
+                break;
+            }
+            self.now = at;
+            self.stats.events += 1;
+            self.dispatch(ev);
+            if stop(&self.agent) {
+                break;
+            }
+            if self.stats.events.is_multiple_of(4096) {
+                self.medium.prune(self.now);
+            }
+        }
+        self.now
+    }
+
+    fn push_back(&mut self, at: Time, ev: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, ev)));
+    }
+
+    fn dispatch(&mut self, ev: EventKind) {
+        match ev {
+            EventKind::TryTx { node } => self.on_try_tx(node),
+            EventKind::TxEnd { id } => self.on_tx_end(id),
+            EventKind::AckTimeout { node, seq } => self.on_ack_timeout(node, seq),
+            EventKind::StartMacAck { node, data_id } => self.on_start_mac_ack(node, data_id),
+            EventKind::Timer { node, token } => {
+                let mut ctx = Ctx {
+                    now: self.now,
+                    rng: &mut self.rng,
+                    timers: Vec::new(),
+                    kicks: Vec::new(),
+                };
+                self.agent.on_timer(node, token, &mut ctx);
+                let Ctx { timers, kicks, .. } = ctx;
+                self.apply_ctx(timers, kicks);
+            }
+        }
+    }
+
+    fn apply_ctx(&mut self, timers: Vec<(NodeId, Time, u64)>, kicks: Vec<NodeId>) {
+        for (node, delay, token) in timers {
+            self.push(self.now + delay, EventKind::Timer { node, token });
+        }
+        for node in kicks {
+            self.kick_at(node, self.now);
+        }
+    }
+
+    fn on_try_tx(&mut self, node: NodeId) {
+        if !matches!(self.states[node.0], MacState::Waiting) {
+            return; // stale attempt (e.g. we got an ACK to answer meanwhile)
+        }
+        // Half-duplex: our own MAC ACK may still be on the air.
+        let own_busy = self.medium.own_tx_until(node, self.now);
+        // Defer while the medium is sensed busy (or our radio is occupied).
+        let sensed_busy = self.medium.busy_until(node, self.now);
+        if let Some(busy_end) = own_busy.into_iter().chain(sensed_busy).max() {
+            let cw = self
+                .current[node.0]
+                .as_ref()
+                .map(|c| c.cw)
+                .unwrap_or(self.cfg.cw_min);
+            let delay = self.backoff_delay(cw);
+            self.push(busy_end + delay, EventKind::TryTx { node });
+            return;
+        }
+        // Need a frame: a retained unicast retry, or ask the protocol.
+        if self.current[node.0].is_none() {
+            let mut ctx = Ctx {
+                now: self.now,
+                rng: &mut self.rng,
+                timers: Vec::new(),
+                kicks: Vec::new(),
+            };
+            let polled = self.agent.poll_tx(node, &mut ctx);
+            let Ctx { timers, kicks, .. } = ctx;
+            self.apply_ctx(timers, kicks);
+            match polled {
+                Some(frame) => {
+                    self.current[node.0] = Some(CurrentTx {
+                        frame,
+                        retries: 0,
+                        cw: self.cfg.cw_min,
+                    });
+                }
+                None => {
+                    self.states[node.0] = MacState::Idle;
+                    return;
+                }
+            }
+        }
+        let current = self.current[node.0].as_ref().expect("frame just ensured");
+        let rate = current.frame.bitrate.unwrap_or(self.cfg.bitrate);
+        let bytes = current.frame.bytes;
+        let air = rate.airtime(bytes);
+        let id = self.next_tx_id;
+        self.next_tx_id += 1;
+        let frame = Frame {
+            from: node,
+            dst: current.frame.dst,
+            bytes,
+            bitrate: rate,
+            payload: current.frame.payload.clone(),
+        };
+        // Spatial-reuse accounting: overlap with other in-air data frames.
+        self.account_concurrency(node, air);
+        self.medium.begin(Transmission {
+            id,
+            tx: node,
+            start: self.now,
+            end: self.now + air,
+        });
+        self.in_flight.insert(id, InFlight::Data { frame });
+        self.states[node.0] = MacState::Transmitting;
+        self.stats.tx_frames[node.0] += 1;
+        self.stats.airtime[node.0] += air;
+        self.push(self.now + air, EventKind::TxEnd { id });
+    }
+
+    fn account_concurrency(&mut self, node: NodeId, air: Time) {
+        let overlap = self.medium.overlap_with(node, self.now, self.now + air);
+        self.stats.concurrent_airtime += overlap;
+    }
+
+    fn on_tx_end(&mut self, id: u64) {
+        let Some(in_flight) = self.in_flight.remove(&id) else {
+            return;
+        };
+        let (mut collisions, mut captures) = (0, 0);
+        let receivers = self.medium.evaluate_reception(
+            id,
+            &self.topo,
+            &self.cfg,
+            &mut self.rng,
+            &mut collisions,
+            &mut captures,
+        );
+        self.stats.collisions += collisions;
+        self.stats.captures += captures;
+
+        match in_flight {
+            InFlight::Data { frame } => {
+                let sender = frame.from;
+                // Deliver to the protocol at each receiver.
+                for &r in &receivers {
+                    self.stats.rx_frames[r.0] += 1;
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        rng: &mut self.rng,
+                        timers: Vec::new(),
+                        kicks: Vec::new(),
+                    };
+                    self.agent.on_receive(r, &frame, &mut ctx);
+                    let Ctx { timers, kicks, .. } = ctx;
+                    self.apply_ctx(timers, kicks);
+                }
+                match frame.dst {
+                    None => {
+                        // Broadcast: done immediately.
+                        self.current[sender.0] = None;
+                        self.finish_tx(sender, TxOutcome::Broadcast);
+                    }
+                    Some(dst) => {
+                        if receivers.contains(&dst) {
+                            // Receiver answers with a MAC ACK after SIFS.
+                            self.push(
+                                self.now + self.cfg.sifs_us,
+                                EventKind::StartMacAck { node: dst, data_id: id },
+                            );
+                        }
+                        // Await the ACK either way; timeout covers loss.
+                        self.ack_seq[sender.0] += 1;
+                        let seq = self.ack_seq[sender.0];
+                        self.states[sender.0] = MacState::AwaitAck { seq };
+                        let wait = self.cfg.sifs_us
+                            + self.cfg.ack_bitrate.airtime(self.cfg.mac_ack_bytes)
+                            + 2 * self.cfg.slot_us;
+                        self.push(
+                            self.now + wait,
+                            EventKind::AckTimeout { node: sender, seq },
+                        );
+                    }
+                }
+            }
+            InFlight::MacAck { to } => {
+                // Did the data sender hear the ACK? Accepting a "stale" ACK
+                // for a retransmission of the same frame is semantically
+                // correct — the receiver did get that frame's contents.
+                if receivers.contains(&to) {
+                    if let MacState::AwaitAck { .. } = self.states[to.0] {
+                        let retries = self.current[to.0].as_ref().map(|c| c.retries).unwrap_or(0);
+                        self.current[to.0] = None;
+                        self.finish_tx(to, TxOutcome::Acked { retries });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_start_mac_ack(&mut self, node: NodeId, data_id: u64) {
+        // Half-duplex: if this node started transmitting in the meantime,
+        // the ACK is silently skipped (the sender will retry).
+        if matches!(self.states[node.0], MacState::Transmitting) {
+            return;
+        }
+        let Some(data) = self.medium.transmission(data_id) else {
+            return;
+        };
+        let to = data.tx;
+        let air = self.cfg.ack_bitrate.airtime(self.cfg.mac_ack_bytes);
+        let id = self.next_tx_id;
+        self.next_tx_id += 1;
+        self.medium.begin(Transmission {
+            id,
+            tx: node,
+            start: self.now,
+            end: self.now + air,
+        });
+        self.in_flight.insert(id, InFlight::MacAck { to });
+        // The ACK briefly occupies this node's radio. If the node was
+        // Waiting, its pending TryTx will see the medium busy (or its own
+        // half-duplex conflict resolves against it) and re-defer naturally.
+        self.stats.tx_mac_acks[node.0] += 1;
+        self.stats.airtime[node.0] += air;
+        self.push(self.now + air, EventKind::TxEnd { id });
+    }
+
+    fn on_ack_timeout(&mut self, node: NodeId, seq: u64) {
+        let MacState::AwaitAck { seq: cur } = self.states[node.0] else {
+            return;
+        };
+        if cur != seq {
+            return; // stale
+        }
+        let Some(current) = self.current[node.0].as_mut() else {
+            // ACK arrived and cleared the frame between events.
+            self.states[node.0] = MacState::Waiting;
+            let d = self.backoff_delay(self.cfg.cw_min);
+            self.push(self.now + d, EventKind::TryTx { node });
+            return;
+        };
+        current.retries += 1;
+        self.stats.retries += 1;
+        if current.retries > self.cfg.retry_limit {
+            let retries = current.retries;
+            self.current[node.0] = None;
+            self.stats.unicast_failures += 1;
+            self.finish_tx(node, TxOutcome::Failed { retries });
+        } else {
+            current.cw = (current.cw * 2 + 1).min(self.cfg.cw_max);
+            let cw = current.cw;
+            self.states[node.0] = MacState::Waiting;
+            let d = self.backoff_delay(cw);
+            self.push(self.now + d, EventKind::TryTx { node });
+        }
+    }
+
+    /// Reports an outcome and re-arms the MAC for the next frame.
+    fn finish_tx(&mut self, node: NodeId, outcome: TxOutcome) {
+        let mut ctx = Ctx {
+            now: self.now,
+            rng: &mut self.rng,
+            timers: Vec::new(),
+            kicks: Vec::new(),
+        };
+        self.agent.on_tx_done(node, outcome, &mut ctx);
+        let Ctx { timers, kicks, .. } = ctx;
+        self.apply_ctx(timers, kicks);
+        self.states[node.0] = MacState::Waiting;
+        let d = self.backoff_delay(self.cfg.cw_min);
+        self.push(self.now + d, EventKind::TryTx { node });
+    }
+}

@@ -1,0 +1,75 @@
+//! Counters the experiment harnesses read after a run.
+
+use crate::Time;
+
+/// Aggregate and per-node statistics for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Data/control frames transmitted, per node (MAC ACKs excluded).
+    pub tx_frames: Vec<u64>,
+    /// Frames received (decoded), per node.
+    pub rx_frames: Vec<u64>,
+    /// MAC ACK frames transmitted, per node.
+    pub tx_mac_acks: Vec<u64>,
+    /// Airtime occupied by each node's transmissions, µs.
+    pub airtime: Vec<Time>,
+    /// Collision events observed at receivers.
+    pub collisions: u64,
+    /// Collisions survived via capture.
+    pub captures: u64,
+    /// Unicast transmissions that exhausted their retries.
+    pub unicast_failures: u64,
+    /// Unicast retransmissions performed.
+    pub retries: u64,
+    /// Moments when ≥2 *data* transmissions were on the air concurrently,
+    /// weighted by overlap µs — the spatial-reuse indicator.
+    pub concurrent_airtime: Time,
+    /// Total events processed.
+    pub events: u64,
+}
+
+impl SimStats {
+    /// Fresh counters for an `n`-node network.
+    pub fn new(n: usize) -> Self {
+        SimStats {
+            tx_frames: vec![0; n],
+            rx_frames: vec![0; n],
+            tx_mac_acks: vec![0; n],
+            airtime: vec![0; n],
+            ..Default::default()
+        }
+    }
+
+    /// Total data-frame transmissions across the network.
+    pub fn total_tx(&self) -> u64 {
+        self.tx_frames.iter().sum()
+    }
+
+    /// Total receptions across the network.
+    pub fn total_rx(&self) -> u64 {
+        self.rx_frames.iter().sum()
+    }
+
+    /// Total airtime across nodes, µs.
+    pub fn total_airtime(&self) -> Time {
+        self.airtime.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let mut s = SimStats::new(3);
+        s.tx_frames[0] = 5;
+        s.tx_frames[2] = 7;
+        s.rx_frames[1] = 9;
+        s.airtime[0] = 100;
+        s.airtime[1] = 50;
+        assert_eq!(s.total_tx(), 12);
+        assert_eq!(s.total_rx(), 9);
+        assert_eq!(s.total_airtime(), 150);
+    }
+}

@@ -1,0 +1,152 @@
+//! Probe-based link estimation, standing in for Roofnet's ETX module.
+//!
+//! The paper measures pairwise delivery probabilities with ten minutes of
+//! periodic ping probes before every run (§4.1.2) and feeds the same
+//! estimates to all three protocols. [`LinkEstimator`] reproduces that
+//! measurement process: each directed link's estimate is the empirical
+//! success rate of `probes` Bernoulli trials at the true probability —
+//! binomially distributed noise, exactly what a real prober sees.
+
+use crate::Topology;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for the probing process.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkEstimator {
+    /// Number of probe frames per directed link (Roofnet sends one probe
+    /// per second; 600 probes ≈ the paper's 10-minute warm-up).
+    pub probes: u32,
+    /// Links whose *estimated* delivery falls below this are dropped from
+    /// the estimate, as a real prober never hears them often enough to
+    /// advertise them.
+    pub min_delivery: f64,
+}
+
+impl Default for LinkEstimator {
+    fn default() -> Self {
+        LinkEstimator {
+            probes: 600,
+            min_delivery: 0.05,
+        }
+    }
+}
+
+impl LinkEstimator {
+    /// Produces the estimated topology a deployment would measure.
+    ///
+    /// Deterministic in `seed`. The returned topology preserves node count
+    /// and positions; only delivery probabilities are perturbed.
+    pub fn estimate(&self, truth: &Topology, seed: u64) -> Topology {
+        assert!(self.probes > 0, "need at least one probe");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = truth.n();
+        let mut m = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let p = truth.matrix()[i][j];
+                if p <= 0.0 {
+                    continue;
+                }
+                let mut successes = 0u32;
+                for _ in 0..self.probes {
+                    if rng.gen::<f64>() < p {
+                        successes += 1;
+                    }
+                }
+                let est = successes as f64 / self.probes as f64;
+                if est >= self.min_delivery {
+                    m[i][j] = est;
+                }
+            }
+        }
+        let mut t = Topology::from_matrix(format!("{}-est", truth.name), m);
+        if let Some(pos) = truth.positions() {
+            t = t.with_positions(pos.to_vec());
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn estimates_converge_with_many_probes() {
+        let truth = generate::testbed(1);
+        let est = LinkEstimator {
+            probes: 20_000,
+            min_delivery: 0.05,
+        }
+        .estimate(&truth, 99);
+        for l in truth.links() {
+            let e = est.delivery(l.from, l.to);
+            assert!(
+                (e - l.delivery).abs() < 0.02,
+                "estimate {e} far from truth {} on {:?}",
+                l.delivery,
+                (l.from, l.to)
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_are_noisy_with_few_probes() {
+        let truth = generate::testbed(1);
+        let est = LinkEstimator {
+            probes: 30,
+            min_delivery: 0.0,
+        }
+        .estimate(&truth, 7);
+        // At 30 probes the estimates quantize to 1/30 steps; at least one
+        // link must differ from truth.
+        let any_diff = truth
+            .links()
+            .any(|l| (est.delivery(l.from, l.to) - l.delivery).abs() > 1e-9);
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let truth = generate::testbed(2);
+        let e = LinkEstimator::default();
+        let a = e.estimate(&truth, 5);
+        let b = e.estimate(&truth, 5);
+        assert_eq!(a.matrix(), b.matrix());
+        let c = e.estimate(&truth, 6);
+        assert_ne!(a.matrix(), c.matrix());
+    }
+
+    #[test]
+    fn preserves_positions_and_structure() {
+        let truth = generate::testbed(3);
+        let est = LinkEstimator::default().estimate(&truth, 1);
+        assert_eq!(est.n(), truth.n());
+        assert!(est.positions().is_some());
+        // No estimated link where none exists.
+        for i in truth.nodes() {
+            for j in truth.nodes() {
+                if truth.delivery(i, j) == 0.0 {
+                    assert_eq!(est.delivery(i, j), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn zero_probes_panics() {
+        let truth = generate::motivating();
+        LinkEstimator {
+            probes: 0,
+            min_delivery: 0.0,
+        }
+        .estimate(&truth, 0);
+    }
+}

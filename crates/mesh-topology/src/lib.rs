@@ -1,0 +1,425 @@
+//! Wireless mesh topologies for the MORE reproduction.
+//!
+//! A [`Topology`] is the network model of thesis §5.3.1: broadcast-capable
+//! nodes and, for every ordered pair `(i, j)`, the *marginal delivery
+//! probability* `p_ij` that a transmission by `i` is received by `j`.
+//! Receptions at different nodes are independent given the transmitter —
+//! the loss-independence assumption the thesis adopts from prior
+//! measurement studies.
+//!
+//! Nodes may carry physical [`Position`]s (used by the testbed generator,
+//! the simulator's carrier-sense/interference ranges, and the Fig 4-1 map);
+//! matrix-only topologies (e.g. the Fig 5-1 diamond) work without them.
+//!
+//! Generators for every topology the paper uses live in [`generate`]; the
+//! probing-based link estimator that stands in for Roofnet's ETX
+//! measurement module is in [`estimator`].
+
+pub mod estimator;
+pub mod generate;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node in a topology. Dense, 0-based.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Physical position in meters; `floor` is the building storey.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize, Default)]
+pub struct Position {
+    pub x: f64,
+    pub y: f64,
+    pub floor: i32,
+}
+
+impl Position {
+    /// Euclidean distance in the floor plane plus a per-floor vertical
+    /// separation of `floor_height` meters.
+    pub fn distance(&self, other: &Position, floor_height: f64) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = (self.floor - other.floor) as f64 * floor_height;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+/// A directed wireless link with its delivery probability.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Link {
+    pub from: NodeId,
+    pub to: NodeId,
+    /// Marginal probability that a frame from `from` is decoded by `to`.
+    pub delivery: f64,
+}
+
+/// A lossy wireless mesh: `n` nodes and an `n × n` delivery matrix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    /// Human-readable label ("testbed", "line4", …).
+    pub name: String,
+    /// `delivery[i][j]` = p_ij; diagonal is unused and kept at 0.
+    delivery: Vec<Vec<f64>>,
+    /// Optional physical layout, parallel to node indices.
+    positions: Option<Vec<Position>>,
+}
+
+impl Topology {
+    /// Builds a topology from a delivery matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square, probabilities fall outside
+    /// `[0, 1]`, or a diagonal entry is non-zero.
+    pub fn from_matrix(name: impl Into<String>, delivery: Vec<Vec<f64>>) -> Self {
+        let n = delivery.len();
+        for (i, row) in delivery.iter().enumerate() {
+            assert_eq!(row.len(), n, "delivery matrix is not square");
+            for (j, &p) in row.iter().enumerate() {
+                assert!(
+                    (0.0..=1.0).contains(&p),
+                    "delivery[{i}][{j}] = {p} outside [0,1]"
+                );
+                if i == j {
+                    assert_eq!(p, 0.0, "diagonal delivery[{i}][{i}] must be 0");
+                }
+            }
+        }
+        Topology {
+            name: name.into(),
+            delivery,
+            positions: None,
+        }
+    }
+
+    /// Attaches physical positions (must match the node count).
+    pub fn with_positions(mut self, positions: Vec<Position>) -> Self {
+        assert_eq!(positions.len(), self.n(), "positions length mismatch");
+        self.positions = Some(positions);
+        self
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.delivery.len()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n()).map(NodeId)
+    }
+
+    /// Delivery probability `p_ij`; zero when no link exists.
+    #[inline]
+    pub fn delivery(&self, i: NodeId, j: NodeId) -> f64 {
+        self.delivery[i.0][j.0]
+    }
+
+    /// Loss probability `ε_ij = 1 − p_ij`.
+    #[inline]
+    pub fn loss(&self, i: NodeId, j: NodeId) -> f64 {
+        1.0 - self.delivery(i, j)
+    }
+
+    /// The raw delivery matrix.
+    pub fn matrix(&self) -> &[Vec<f64>] {
+        &self.delivery
+    }
+
+    /// Physical positions, if the topology has them.
+    pub fn positions(&self) -> Option<&[Position]> {
+        self.positions.as_deref()
+    }
+
+    /// Out-neighbors of `i`: nodes with `p_ij > 0`.
+    pub fn neighbors(&self, i: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.delivery[i.0]
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(j, _)| NodeId(j))
+    }
+
+    /// Every directed link with non-zero delivery probability.
+    pub fn links(&self) -> impl Iterator<Item = Link> + '_ {
+        (0..self.n()).flat_map(move |i| {
+            self.delivery[i]
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| p > 0.0)
+                .map(move |(j, &p)| Link {
+                    from: NodeId(i),
+                    to: NodeId(j),
+                    delivery: p,
+                })
+        })
+    }
+
+    /// Mean loss rate over all existing links (both directions counted).
+    pub fn mean_link_loss(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for l in self.links() {
+            total += 1.0 - l.delivery;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Minimum hop count from `src` to `dst` (BFS over links with `p > 0`),
+    /// or `None` if unreachable.
+    pub fn hop_count(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        if src == dst {
+            return Some(0);
+        }
+        let n = self.n();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.0] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbors(u) {
+                if dist[v.0] == usize::MAX {
+                    dist[v.0] = dist[u.0] + 1;
+                    if v == dst {
+                        return Some(dist[v.0]);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// True when every node can reach every other node over `p > 0` links.
+    pub fn is_connected(&self) -> bool {
+        let n = self.n();
+        if n <= 1 {
+            return true;
+        }
+        (0..n).all(|i| (0..n).all(|j| i == j || self.hop_count(NodeId(i), NodeId(j)).is_some()))
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("topology serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// A coarse ASCII floor map (Fig 4-1 style); one grid per floor.
+    pub fn ascii_map(&self, cols: usize, rows: usize) -> String {
+        let Some(pos) = &self.positions else {
+            return String::from("(no positions)\n");
+        };
+        let (min_x, max_x) = min_max(pos.iter().map(|p| p.x));
+        let (min_y, max_y) = min_max(pos.iter().map(|p| p.y));
+        let floors: std::collections::BTreeSet<i32> = pos.iter().map(|p| p.floor).collect();
+        let mut out = String::new();
+        for floor in floors {
+            out.push_str(&format!("floor {floor}:\n"));
+            let mut grid = vec![vec![b'.'; cols]; rows];
+            for (i, p) in pos.iter().enumerate() {
+                if p.floor != floor {
+                    continue;
+                }
+                let cx = scale(p.x, min_x, max_x, cols);
+                let cy = scale(p.y, min_y, max_y, rows);
+                let label = if i < 10 {
+                    b'0' + i as u8
+                } else {
+                    b'a' + (i - 10) as u8
+                };
+                grid[cy][cx] = label;
+            }
+            for row in grid {
+                out.push_str(std::str::from_utf8(&row).unwrap());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn min_max(it: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in it {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo > hi {
+        (0.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn scale(v: f64, lo: f64, hi: f64, cells: usize) -> usize {
+    if hi <= lo {
+        return 0;
+    }
+    let t = (v - lo) / (hi - lo);
+    ((t * (cells - 1) as f64).round() as usize).min(cells - 1)
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    fn tri() -> Topology {
+        // src(0) -> R(1) -> dst(2), plus a weak direct link.
+        Topology::from_matrix(
+            "tri",
+            vec![
+                vec![0.0, 1.0, 0.49],
+                vec![0.0, 0.0, 1.0],
+                vec![0.0, 0.0, 0.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = tri();
+        assert_eq!(t.n(), 3);
+        assert_eq!(t.delivery(NodeId(0), NodeId(2)), 0.49);
+        assert!((t.loss(NodeId(0), NodeId(2)) - 0.51).abs() < 1e-12);
+        let nbrs: Vec<_> = t.neighbors(NodeId(0)).collect();
+        assert_eq!(nbrs, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(t.links().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not square")]
+    fn rejects_non_square() {
+        Topology::from_matrix("bad", vec![vec![0.0, 1.0], vec![0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rejects_bad_probability() {
+        Topology::from_matrix("bad", vec![vec![0.0, 1.5], vec![0.0, 0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn rejects_self_link() {
+        Topology::from_matrix("bad", vec![vec![0.5]]);
+    }
+
+    #[test]
+    fn hop_counts() {
+        let t = tri();
+        assert_eq!(t.hop_count(NodeId(0), NodeId(0)), Some(0));
+        assert_eq!(t.hop_count(NodeId(0), NodeId(2)), Some(1)); // direct weak link
+        assert_eq!(t.hop_count(NodeId(2), NodeId(0)), None); // directed
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn mean_loss() {
+        let t = tri();
+        let expect = ((1.0 - 1.0) + (1.0 - 0.49) + (1.0 - 1.0)) / 3.0;
+        assert!((t.mean_link_loss() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = tri().with_positions(vec![
+            Position {
+                x: 0.0,
+                y: 0.0,
+                floor: 0,
+            },
+            Position {
+                x: 10.0,
+                y: 0.0,
+                floor: 0,
+            },
+            Position {
+                x: 20.0,
+                y: 5.0,
+                floor: 1,
+            },
+        ]);
+        let s = t.to_json();
+        let back = Topology::from_json(&s).unwrap();
+        assert_eq!(back.n(), 3);
+        assert_eq!(back.delivery(NodeId(0), NodeId(2)), 0.49);
+        assert_eq!(back.positions().unwrap()[2].floor, 1);
+    }
+
+    #[test]
+    fn position_distance() {
+        let a = Position {
+            x: 0.0,
+            y: 0.0,
+            floor: 0,
+        };
+        let b = Position {
+            x: 3.0,
+            y: 4.0,
+            floor: 0,
+        };
+        assert!((a.distance(&b, 4.0) - 5.0).abs() < 1e-12);
+        let c = Position {
+            x: 0.0,
+            y: 0.0,
+            floor: 1,
+        };
+        assert!((a.distance(&c, 4.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_map_renders_without_positions() {
+        assert_eq!(tri().ascii_map(10, 5), "(no positions)\n");
+    }
+
+    #[test]
+    fn ascii_map_places_nodes() {
+        let t = tri().with_positions(vec![
+            Position {
+                x: 0.0,
+                y: 0.0,
+                floor: 0,
+            },
+            Position {
+                x: 30.0,
+                y: 0.0,
+                floor: 0,
+            },
+            Position {
+                x: 60.0,
+                y: 20.0,
+                floor: 0,
+            },
+        ]);
+        let map = t.ascii_map(20, 6);
+        assert!(map.contains('0'));
+        assert!(map.contains('1'));
+        assert!(map.contains('2'));
+    }
+}

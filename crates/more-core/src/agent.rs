@@ -1,0 +1,574 @@
+//! The MORE node agent: source / forwarder / destination control flow
+//! (thesis §3.3.3, Fig 3-2) over the simulator's MAC callbacks.
+
+use crate::flow::{BatchState, FlowId, FlowProgress, MoreFlow, NodeFlowState};
+use crate::header::MorePayload;
+use crate::{batch_natives, ForwarderMetric, MoreConfig};
+use mesh_metrics::etx::LinkCost;
+use mesh_metrics::{EtxTable, ForwarderPlan};
+use mesh_sim::{Ctx, Frame, NodeAgent, OutFrame, TxOutcome};
+use mesh_topology::{NodeId, Topology};
+use rand::Rng;
+use rlnc::{CodeVector, CodedPacket, Decoder, ForwarderBuffer, InnovationTracker, SourceEncoder};
+
+/// Size of a batch-ACK frame on the air (type + ids + MAC framing).
+const ACK_BYTES: usize = 30;
+
+/// MORE for a whole mesh: one agent instance drives every node, keeping
+/// strictly per-node state per flow (§3.3.2).
+pub struct MoreAgent {
+    cfg: MoreConfig,
+    topo: Topology,
+    flows: Vec<MoreFlow>,
+    /// Per-node round-robin cursor over flows (§3.3.3: "the node selects a
+    /// backlogged flow by round-robin").
+    rr: Vec<usize>,
+    /// Which flow's batch ACK each node's MAC currently holds.
+    ack_in_flight: Vec<Option<usize>>,
+}
+
+impl MoreAgent {
+    /// An agent with no flows yet.
+    pub fn new(topo: Topology, cfg: MoreConfig) -> Self {
+        let n = topo.n();
+        MoreAgent {
+            cfg,
+            topo,
+            flows: Vec::new(),
+            rr: vec![0; n],
+            ack_in_flight: vec![None; n],
+        }
+    }
+
+    /// Protocol parameters.
+    pub fn config(&self) -> &MoreConfig {
+        &self.cfg
+    }
+
+    /// Registers a `src → dst` transfer of `total_packets` native packets.
+    ///
+    /// Computes the ETX tables, the Algorithm-1 forwarder plan with
+    /// pruning, and the reverse path for batch ACKs. Returns the flow's
+    /// index for [`Self::progress`]. Callers must `kick(src)` on the
+    /// simulator to start the source's MAC.
+    pub fn add_flow(
+        &mut self,
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        total_packets: usize,
+    ) -> usize {
+        assert!(total_packets > 0, "empty transfer");
+        let n = self.topo.n();
+        // Forwarder ordering metric: ETX in the shipped protocol, EOTX
+        // for the §5.7 variant.
+        let metric: Vec<f64> = match self.cfg.metric {
+            ForwarderMetric::Etx => {
+                EtxTable::compute(&self.topo, dst, LinkCost::Forward)
+                    .distances()
+                    .to_vec()
+            }
+            ForwarderMetric::Eotx => {
+                mesh_metrics::EotxTable::compute(&self.topo, dst)
+                    .distances()
+                    .to_vec()
+            }
+        };
+        let plan = ForwarderPlan::compute(&self.topo, src, dst, &metric, &self.cfg.plan);
+        let mut rank_of = vec![None; n];
+        for (r, &node) in plan.order.iter().enumerate() {
+            rank_of[node.0] = Some(r as u32);
+        }
+        // ACKs go to the source over its ETX shortest path (§3.2.2);
+        // they are reliable unicasts, so the path metric accounts for the
+        // MAC ACK's reverse trip.
+        let to_src = EtxTable::compute(&self.topo, src, LinkCost::ForwardReverse);
+        let ack_next_hop = (0..n).map(|i| to_src.next_hop(NodeId(i))).collect();
+        let flow = MoreFlow {
+            id,
+            src,
+            dst,
+            total_packets,
+            plan,
+            rank_of,
+            ack_next_hop,
+            nodes: (0..n).map(|_| NodeFlowState::new()).collect(),
+            src_batch: 0,
+            encoder: None,
+            progress: FlowProgress::default(),
+            dst_completed: None,
+        };
+        self.flows.push(flow);
+        self.flows.len() - 1
+    }
+
+    /// Progress of flow `index` (as returned by [`Self::add_flow`]).
+    pub fn progress(&self, index: usize) -> &FlowProgress {
+        &self.flows[index].progress
+    }
+
+    /// All flows done (every batch ACKed at its source)?
+    pub fn all_done(&self) -> bool {
+        self.flows.iter().all(|f| f.is_done(&self.cfg))
+    }
+
+    /// The flow list (read-only, for harness inspection).
+    pub fn flows(&self) -> &[MoreFlow] {
+        &self.flows
+    }
+
+    fn flow_index(&self, id: FlowId) -> Option<usize> {
+        self.flows.iter().position(|f| f.id == id)
+    }
+
+    /// Makes sure the node's batch state matches its role and batch K.
+    pub(crate) fn ensure_batch_state(
+        cfg: &MoreConfig,
+        ns: &mut NodeFlowState,
+        is_dst: bool,
+        k: usize,
+    ) {
+        let needs_init = matches!(ns.batch, BatchState::Empty);
+        if !needs_init {
+            return;
+        }
+        ns.batch = match (is_dst, cfg.track_payloads) {
+            (true, true) => BatchState::DstDecoder(Decoder::new(k, cfg.packet_bytes)),
+            (true, false) => BatchState::DstTracker(InnovationTracker::new(k)),
+            (false, true) => BatchState::Coded(ForwarderBuffer::new(k, cfg.packet_bytes)),
+            (false, false) => BatchState::Tracker(InnovationTracker::new(k)),
+        };
+    }
+
+    /// Feeds a received coded packet into the node's batch state; returns
+    /// `(innovative, rank_after)`.
+    pub(crate) fn absorb(
+        ns: &mut NodeFlowState,
+        vector: &CodeVector,
+        body: &[u8],
+        rng: &mut impl Rng,
+    ) -> (bool, usize) {
+        match &mut ns.batch {
+            BatchState::Empty => unreachable!("batch state initialized before absorb"),
+            BatchState::Tracker(t) | BatchState::DstTracker(t) => {
+                let innov = t.absorb(vector);
+                (innov, t.rank())
+            }
+            BatchState::Coded(b) => {
+                let p = CodedPacket {
+                    vector: vector.clone(),
+                    payload: bytes::Bytes::copy_from_slice(body),
+                };
+                let innov = b.receive(&p, rng);
+                (innov, b.rank())
+            }
+            BatchState::DstDecoder(d) => {
+                let p = CodedPacket {
+                    vector: vector.clone(),
+                    payload: bytes::Bytes::copy_from_slice(body),
+                };
+                let innov = d.receive(&p);
+                (innov, d.rank())
+            }
+        }
+    }
+
+    /// A forwarder's outgoing coded packet: random combination of what it
+    /// holds (pre-coded when payloads are tracked).
+    pub(crate) fn emit_from(ns: &mut NodeFlowState, k: usize, rng: &mut impl Rng) -> Option<(CodeVector, Vec<u8>)> {
+        match &mut ns.batch {
+            BatchState::Empty => None,
+            BatchState::Tracker(t) => {
+                if t.rank() == 0 {
+                    return None;
+                }
+                let mut v = CodeVector::zero(k);
+                for i in 0..k {
+                    if let Some(row) = t.row(i) {
+                        let c = gf256::Gf256(rng.gen_range(1..=255u8));
+                        v.mul_add_assign(row, c);
+                    }
+                }
+                Some((v, Vec::new()))
+            }
+            BatchState::Coded(b) => b.emit(rng).map(|p| (p.vector, p.payload.to_vec())),
+            // The destination never forwards data.
+            BatchState::DstTracker(_) | BatchState::DstDecoder(_) => None,
+        }
+    }
+}
+
+impl NodeAgent for MoreAgent {
+    type Payload = MorePayload;
+
+    fn on_receive(&mut self, node: NodeId, frame: &Frame<MorePayload>, ctx: &mut Ctx<'_>) {
+        match &frame.payload {
+            MorePayload::Data {
+                flow,
+                batch,
+                vector,
+                body,
+                sender_rank,
+            } => {
+                let Some(fi) = self.flow_index(*flow) else {
+                    return;
+                };
+                let cfg = self.cfg;
+                let f = &mut self.flows[fi];
+                // "When a node hears a packet, it checks whether it is in
+                // the packet's forwarder list" (§3.1.2).
+                let Some(rank) = f.rank_of[node.0] else {
+                    return;
+                };
+                if f.is_done(&cfg) {
+                    return;
+                }
+                let is_dst = node == f.dst;
+                let is_src = node == f.src;
+                let k_b = f.k_of(&cfg, *batch);
+                let total_batches = f.n_batches(&cfg);
+                let ns = &mut f.nodes[node.0];
+                if *batch < ns.current_batch {
+                    return; // stale batch (§3.3.3)
+                }
+                ns.flush_to(*batch);
+                // Credit: "for each packet arrival from a node with higher
+                // ETX, the forwarder increments the counter" (§3.3.2).
+                if !is_src && !is_dst && *sender_rank > rank {
+                    ns.credit += f.plan.tx_credit[node.0];
+                }
+                if is_src {
+                    return; // the source only pumps; it stores nothing
+                }
+                Self::ensure_batch_state(&cfg, ns, is_dst, k_b);
+                let (innovative, rank_after) = Self::absorb(ns, vector, body, ctx.rng());
+                if is_dst {
+                    if innovative && rank_after == k_b {
+                        // Full batch: ACK before decoding (§3.2.2).
+                        if let BatchState::DstDecoder(d) = &ns.batch {
+                            let natives = d.natives().expect("rank K reached");
+                            let expect =
+                                batch_natives(*flow, *batch, k_b, cfg.packet_bytes);
+                            assert_eq!(natives, expect, "decoded batch corrupt");
+                        }
+                        ns.pending_acks.push_back(*batch);
+                        ns.flush_to(*batch + 1);
+                        let p = &mut f.progress;
+                        p.decoded_batches += 1;
+                        p.delivered_packets += k_b;
+                        f.dst_completed = Some(*batch);
+                        if *batch + 1 == total_batches {
+                            p.completed_at = Some(ctx.now());
+                        }
+                        ctx.mark_backlogged(node);
+                    }
+                } else if ns.credit > 0.0 && ns.batch.rank() > 0 {
+                    // "The arrival of this new packet triggers the node to
+                    // broadcast" — via the MAC, when it allows (§3.1.2).
+                    ctx.mark_backlogged(node);
+                }
+            }
+            MorePayload::Ack { flow, batch, .. } => {
+                let Some(fi) = self.flow_index(*flow) else {
+                    return;
+                };
+                let cfg = self.cfg;
+                let f = &mut self.flows[fi];
+                // Overhearers purge the acked batch (§3.3.4).
+                if f.rank_of[node.0].is_some() {
+                    f.nodes[node.0].flush_to(*batch + 1);
+                }
+                if frame.dst != Some(node) {
+                    return;
+                }
+                if node == f.src {
+                    // Source advances to the next batch (§3.2.2).
+                    if *batch >= f.src_batch {
+                        f.src_batch = *batch + 1;
+                        f.encoder = None;
+                        f.progress.acked_batches = f.src_batch;
+                        if f.is_done(&cfg) {
+                            f.progress.done = true;
+                        } else {
+                            ctx.mark_backlogged(node);
+                        }
+                    }
+                } else {
+                    // Relay the ACK toward the source, prioritized.
+                    f.nodes[node.0].pending_acks.push_back(*batch);
+                    ctx.mark_backlogged(node);
+                }
+            }
+        }
+    }
+
+    fn on_tx_done(&mut self, node: NodeId, outcome: TxOutcome, ctx: &mut Ctx<'_>) {
+        match outcome {
+            TxOutcome::Broadcast => {}
+            TxOutcome::Acked { .. } => {
+                if let Some(fi) = self.ack_in_flight[node.0].take() {
+                    self.flows[fi].nodes[node.0].pending_acks.pop_front();
+                }
+            }
+            TxOutcome::Failed { .. } => {
+                // Batch ACKs are delivered reliably: keep the ACK queued
+                // and try again (§3.2.2 "reliably delivered using local
+                // retransmission at each hop").
+                self.ack_in_flight[node.0] = None;
+                ctx.mark_backlogged(node);
+            }
+        }
+    }
+
+    fn poll_tx(&mut self, node: NodeId, ctx: &mut Ctx<'_>) -> Option<OutFrame<MorePayload>> {
+        // 1. Batch ACKs first: "ACKs are given priority over data packets
+        //    at every node" (§3.1.3).
+        for fi in 0..self.flows.len() {
+            let f = &self.flows[fi];
+            let ns = &f.nodes[node.0];
+            if let Some(&batch) = ns.pending_acks.front() {
+                if node == f.src {
+                    // Shouldn't happen; drop defensively.
+                    self.flows[fi].nodes[node.0].pending_acks.pop_front();
+                    continue;
+                }
+                let Some(nh) = f.ack_next_hop[node.0] else {
+                    self.flows[fi].nodes[node.0].pending_acks.pop_front();
+                    continue;
+                };
+                self.ack_in_flight[node.0] = Some(fi);
+                return Some(OutFrame {
+                    dst: Some(nh),
+                    bytes: ACK_BYTES,
+                    bitrate: None,
+                    payload: MorePayload::Ack {
+                        flow: f.id,
+                        batch,
+                        origin: f.dst,
+                    },
+                });
+            }
+        }
+
+        // 2. Data, round-robin across flows (§3.3.3).
+        let nf = self.flows.len();
+        if nf == 0 {
+            return None;
+        }
+        let cfg = self.cfg;
+        let start = self.rr[node.0] % nf;
+        for step in 0..nf {
+            let fi = (start + step) % nf;
+            let f = &mut self.flows[fi];
+            if f.is_done(&cfg) {
+                continue;
+            }
+            let Some(rank) = f.rank_of[node.0] else {
+                continue;
+            };
+            if node == f.src {
+                let batch = f.src_batch;
+                let k_b = f.k_of(&cfg, batch);
+                let (vector, body) = if cfg.track_payloads {
+                    if f.encoder.is_none() {
+                        let natives = batch_natives(f.id, batch, k_b, cfg.packet_bytes);
+                        f.encoder =
+                            Some(SourceEncoder::new(natives).expect("valid batch"));
+                    }
+                    let p = f.encoder.as_ref().expect("just built").encode(ctx.rng());
+                    (p.vector, p.payload.to_vec())
+                } else {
+                    (CodeVector::random(k_b, ctx.rng()), Vec::new())
+                };
+                if f.dst_completed.is_some_and(|c| c >= batch) {
+                    f.progress.spurious_tx += 1;
+                }
+                self.rr[node.0] = fi + 1;
+                return Some(OutFrame {
+                    dst: None,
+                    bytes: cfg.header_bytes + k_b + cfg.packet_bytes,
+                    bitrate: None,
+                    payload: MorePayload::Data {
+                        flow: f.id,
+                        batch,
+                        vector,
+                        body,
+                        sender_rank: rank,
+                    },
+                });
+            }
+            if node == f.dst {
+                continue;
+            }
+            // Forwarder: positive credit and something to say (§3.2.1).
+            let batch = f.nodes[node.0].current_batch;
+            if batch >= f.n_batches(&cfg) {
+                continue;
+            }
+            let k_b = f.k_of(&cfg, batch);
+            if f.nodes[node.0].credit <= 0.0 {
+                continue;
+            }
+            let Some((vector, body)) = Self::emit_from(&mut f.nodes[node.0], k_b, ctx.rng())
+            else {
+                continue;
+            };
+            f.nodes[node.0].credit -= 1.0;
+            if f.dst_completed.is_some_and(|c| c >= batch) {
+                f.progress.spurious_tx += 1;
+            }
+            self.rr[node.0] = fi + 1;
+            return Some(OutFrame {
+                dst: None,
+                bytes: cfg.header_bytes + k_b + cfg.packet_bytes,
+                bitrate: None,
+                payload: MorePayload::Data {
+                    flow: f.id,
+                    batch,
+                    vector,
+                    body,
+                    sender_rank: rank,
+                },
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+    use mesh_sim::{SimConfig, Simulator, SEC};
+    use mesh_topology::generate;
+
+    fn run_flow(
+        topo: Topology,
+        cfg: MoreConfig,
+        src: usize,
+        dst: usize,
+        packets: usize,
+        seed: u64,
+    ) -> (Simulator<MoreAgent>, usize) {
+        let mut agent = MoreAgent::new(topo.clone(), cfg);
+        let fi = agent.add_flow(1, NodeId(src), NodeId(dst), packets);
+        let mut sim = Simulator::new(topo, SimConfig::default(), agent, seed);
+        sim.kick(NodeId(src));
+        sim.run_until(600 * SEC, |a: &MoreAgent| a.all_done());
+        (sim, fi)
+    }
+
+    #[test]
+    fn one_hop_transfer_completes() {
+        let topo = generate::line(1, 0.8, 0.0, 20.0);
+        let (sim, fi) = run_flow(topo, MoreConfig::default(), 0, 1, 64, 1);
+        let p = sim.agent.progress(fi);
+        assert!(p.done, "flow did not finish");
+        assert_eq!(p.delivered_packets, 64);
+        assert_eq!(p.decoded_batches, 2);
+    }
+
+    #[test]
+    fn relay_chain_transfer_completes() {
+        let topo = generate::line(3, 0.7, 0.3, 25.0);
+        let (sim, fi) = run_flow(topo, MoreConfig::default(), 0, 3, 32, 2);
+        let p = sim.agent.progress(fi);
+        assert!(p.done);
+        assert_eq!(p.delivered_packets, 32);
+    }
+
+    #[test]
+    fn payload_tracking_decodes_correctly() {
+        // track_payloads=true makes the destination assert decoded bytes
+        // match the generated file — the assert inside on_receive.
+        let topo = generate::line(2, 0.75, 0.2, 25.0);
+        let cfg = MoreConfig {
+            k: 8,
+            packet_bytes: 256,
+            track_payloads: true,
+            ..MoreConfig::default()
+        };
+        let (sim, fi) = run_flow(topo, cfg, 0, 2, 24, 3);
+        assert!(sim.agent.progress(fi).done);
+        assert_eq!(sim.agent.progress(fi).delivered_packets, 24);
+    }
+
+    #[test]
+    fn short_final_batch() {
+        let topo = generate::line(1, 0.9, 0.0, 20.0);
+        let cfg = MoreConfig {
+            k: 32,
+            ..MoreConfig::default()
+        };
+        let (sim, fi) = run_flow(topo, cfg, 0, 1, 40, 4); // 32 + 8
+        let p = sim.agent.progress(fi);
+        assert!(p.done);
+        assert_eq!(p.delivered_packets, 40);
+        assert_eq!(p.decoded_batches, 2);
+    }
+
+    #[test]
+    fn testbed_transfer_and_stopping_rule() {
+        let topo = generate::testbed(1);
+        let (mut sim, fi) = run_flow(topo, MoreConfig::default(), 0, 19, 64, 5);
+        let p = *sim.agent.progress(fi);
+        assert!(p.done, "testbed flow stuck");
+        assert_eq!(p.delivered_packets, 64);
+        // Stopping rule: after completion, (almost) no more data frames.
+        let tx_before = sim.stats.total_tx();
+        let t = sim.now();
+        sim.run_until(t + 2 * SEC, |_| false);
+        let extra = sim.stats.total_tx() - tx_before;
+        assert!(
+            extra <= 2,
+            "{extra} transmissions after the flow finished — stopping rule broken"
+        );
+    }
+
+    #[test]
+    fn spurious_transmissions_are_bounded() {
+        let topo = generate::testbed(2);
+        let (sim, fi) = run_flow(topo, MoreConfig::default(), 3, 16, 96, 6);
+        let p = sim.agent.progress(fi);
+        assert!(p.done);
+        // A few spurious sends happen between batch completion and the ACK
+        // reaching everyone; they must stay a small fraction of the total.
+        let total = sim.stats.total_tx();
+        assert!(
+            (p.spurious_tx as f64) < 0.25 * total as f64,
+            "spurious {} of {total}",
+            p.spurious_tx
+        );
+    }
+
+    #[test]
+    fn multiflow_roundrobin_completes_both() {
+        let topo = generate::testbed(3);
+        let mut agent = MoreAgent::new(topo.clone(), MoreConfig::default());
+        let f1 = agent.add_flow(1, NodeId(0), NodeId(19), 32);
+        let f2 = agent.add_flow(2, NodeId(5), NodeId(12), 32);
+        let mut sim = Simulator::new(topo, SimConfig::default(), agent, 7);
+        sim.kick(NodeId(0));
+        sim.kick(NodeId(5));
+        sim.run_until(600 * SEC, |a: &MoreAgent| a.all_done());
+        assert!(sim.agent.progress(f1).done, "flow 1 stuck");
+        assert!(sim.agent.progress(f2).done, "flow 2 stuck");
+        assert_eq!(sim.agent.progress(f1).delivered_packets, 32);
+        assert_eq!(sim.agent.progress(f2).delivered_packets, 32);
+    }
+
+    #[test]
+    fn pruning_limits_participants() {
+        let topo = generate::testbed(4);
+        let agent = {
+            let mut a = MoreAgent::new(topo.clone(), MoreConfig::default());
+            a.add_flow(1, NodeId(0), NodeId(19), 32);
+            a
+        };
+        let f = &agent.flows()[0];
+        assert!(
+            f.plan.forwarders().len() <= 10,
+            "forwarder cap exceeded: {}",
+            f.plan.forwarders().len()
+        );
+    }
+}

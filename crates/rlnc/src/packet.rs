@@ -1,0 +1,306 @@
+//! Code vectors, coded packets, and the source-side encoder.
+
+use crate::CodingError;
+use bytes::Bytes;
+use gf256::{slice_ops, Gf256};
+use rand::Rng;
+
+/// The vector of coefficients that derives a coded packet from the natives.
+///
+/// For `p' = Σ cᵢ pᵢ` the code vector is `(c₁, …, c_K)` (thesis Table 3.1).
+/// Stored as raw bytes; each byte is a GF(2⁸) element.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CodeVector(Vec<u8>);
+
+impl CodeVector {
+    /// A zero vector of length `k`.
+    pub fn zero(k: usize) -> Self {
+        CodeVector(vec![0; k])
+    }
+
+    /// The `i`-th unit vector of length `k` (the code vector of native `i`).
+    pub fn unit(k: usize, i: usize) -> Self {
+        assert!(i < k, "unit index out of range");
+        let mut v = vec![0; k];
+        v[i] = 1;
+        CodeVector(v)
+    }
+
+    /// A uniformly random vector of length `k`.
+    pub fn random<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Self {
+        let mut v = vec![0u8; k];
+        rng.fill(&mut v[..]);
+        CodeVector(v)
+    }
+
+    /// Builds a vector from raw coefficient bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        CodeVector(bytes)
+    }
+
+    /// Batch size K this vector addresses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the vector has length zero (a degenerate batch).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// True if every coefficient is zero (carries no information).
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// Coefficient `i`.
+    #[inline]
+    pub fn coeff(&self, i: usize) -> Gf256 {
+        Gf256(self.0[i])
+    }
+
+    /// Index of the first non-zero coefficient, if any.
+    pub fn leading_index(&self) -> Option<usize> {
+        self.0.iter().position(|&b| b != 0)
+    }
+
+    /// Raw coefficient bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Mutable raw coefficient bytes.
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+
+    /// `self += c * other`.
+    pub fn mul_add_assign(&mut self, other: &CodeVector, c: Gf256) {
+        slice_ops::mul_add_assign(&mut self.0, &other.0, c);
+    }
+
+    /// `self *= c`.
+    pub fn mul_assign(&mut self, c: Gf256) {
+        slice_ops::mul_assign(&mut self.0, c);
+    }
+}
+
+impl core::fmt::Debug for CodeVector {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "CodeVector[")?;
+        for (i, b) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{b:02X}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A coded packet: payload bytes plus the code vector describing them.
+///
+/// Payloads are [`Bytes`], so cloning a packet for every simulated receiver
+/// of a broadcast is O(1).
+#[derive(Clone, Debug)]
+pub struct CodedPacket {
+    /// How to derive this payload from the batch natives.
+    pub vector: CodeVector,
+    /// The coded payload, `Σ cᵢ pᵢ` byte-wise over GF(2⁸).
+    pub payload: Bytes,
+}
+
+impl CodedPacket {
+    /// Batch size K.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.vector.len()
+    }
+
+    /// Payload size in bytes.
+    #[inline]
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// The source's encoder over one batch of K native packets (§3.1.1).
+///
+/// "When the 802.11 MAC is ready to send, the source creates a random linear
+/// combination of the K native packets in the current batch and broadcasts
+/// the coded packet."
+#[derive(Clone, Debug)]
+pub struct SourceEncoder {
+    natives: Vec<Bytes>,
+    payload_len: usize,
+}
+
+impl SourceEncoder {
+    /// Builds an encoder over `natives`; all packets must share one length
+    /// and the batch must be non-empty.
+    pub fn new<B: Into<Bytes>>(natives: Vec<B>) -> Result<Self, CodingError> {
+        let natives: Vec<Bytes> = natives.into_iter().map(Into::into).collect();
+        let Some(first) = natives.first() else {
+            return Err(CodingError::BadBatch("empty batch".into()));
+        };
+        let payload_len = first.len();
+        if payload_len == 0 {
+            return Err(CodingError::BadBatch("zero-length packets".into()));
+        }
+        if natives.iter().any(|p| p.len() != payload_len) {
+            return Err(CodingError::BadBatch("unequal packet lengths".into()));
+        }
+        Ok(SourceEncoder {
+            natives,
+            payload_len,
+        })
+    }
+
+    /// Batch size K.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.natives.len()
+    }
+
+    /// Payload size in bytes.
+    #[inline]
+    pub fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    /// The native packets this encoder codes over.
+    pub fn natives(&self) -> &[Bytes] {
+        &self.natives
+    }
+
+    /// Emits one coded packet with fresh random coefficients.
+    ///
+    /// Cost is K multiply-accumulate passes over the payload — the most
+    /// expensive coding operation in the system (Table 4.1: "the coding cost
+    /// is highest at the source because it has to code all K packets
+    /// together").
+    pub fn encode<R: Rng + ?Sized>(&self, rng: &mut R) -> CodedPacket {
+        let vector = CodeVector::random(self.k(), rng);
+        self.encode_with(&vector)
+    }
+
+    /// Emits the coded packet for a caller-chosen code vector.
+    pub fn encode_with(&self, vector: &CodeVector) -> CodedPacket {
+        assert_eq!(vector.len(), self.k(), "vector length != K");
+        let mut payload = vec![0u8; self.payload_len];
+        for (i, native) in self.natives.iter().enumerate() {
+            slice_ops::mul_add_assign(&mut payload, native, vector.coeff(i));
+        }
+        CodedPacket {
+            vector: vector.clone(),
+            payload: Bytes::from(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn unit_vectors() {
+        let v = CodeVector::unit(4, 2);
+        assert_eq!(v.as_bytes(), &[0, 0, 1, 0]);
+        assert_eq!(v.leading_index(), Some(2));
+        assert!(!v.is_zero());
+    }
+
+    #[test]
+    fn zero_vector() {
+        let v = CodeVector::zero(3);
+        assert!(v.is_zero());
+        assert_eq!(v.leading_index(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unit_out_of_range_panics() {
+        let _ = CodeVector::unit(3, 3);
+    }
+
+    #[test]
+    fn vector_axpy() {
+        let mut a = CodeVector::from_bytes(vec![1, 2, 3]);
+        let b = CodeVector::from_bytes(vec![4, 5, 6]);
+        a.mul_add_assign(&b, Gf256(2));
+        for i in 0..3 {
+            let expect = Gf256([1, 2, 3][i]) + Gf256([4, 5, 6][i]) * Gf256(2);
+            assert_eq!(a.coeff(i), expect);
+        }
+    }
+
+    #[test]
+    fn encoder_rejects_bad_batches() {
+        assert!(matches!(
+            SourceEncoder::new(Vec::<Vec<u8>>::new()),
+            Err(CodingError::BadBatch(_))
+        ));
+        assert!(matches!(
+            SourceEncoder::new(vec![vec![1u8, 2], vec![3u8]]),
+            Err(CodingError::BadBatch(_))
+        ));
+        assert!(matches!(
+            SourceEncoder::new(vec![Vec::<u8>::new()]),
+            Err(CodingError::BadBatch(_))
+        ));
+    }
+
+    #[test]
+    fn encode_with_unit_vector_reproduces_native() {
+        let natives = vec![vec![1u8, 2, 3], vec![4u8, 5, 6]];
+        let enc = SourceEncoder::new(natives.clone()).unwrap();
+        for i in 0..2 {
+            let p = enc.encode_with(&CodeVector::unit(2, i));
+            assert_eq!(&p.payload[..], &natives[i][..]);
+        }
+    }
+
+    #[test]
+    fn encode_is_linear_in_the_vector() {
+        let natives = vec![vec![10u8; 32], vec![20u8; 32], vec![30u8; 32]];
+        let enc = SourceEncoder::new(natives).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let va = CodeVector::random(3, &mut rng);
+        let vb = CodeVector::random(3, &mut rng);
+        let mut vsum = va.clone();
+        vsum.mul_add_assign(&vb, Gf256::ONE);
+
+        let pa = enc.encode_with(&va);
+        let pb = enc.encode_with(&vb);
+        let psum = enc.encode_with(&vsum);
+        let xor: Vec<u8> = pa
+            .payload
+            .iter()
+            .zip(pb.payload.iter())
+            .map(|(a, b)| a ^ b)
+            .collect();
+        assert_eq!(&psum.payload[..], &xor[..]);
+    }
+
+    #[test]
+    fn random_encode_has_right_shape() {
+        let enc = SourceEncoder::new(vec![vec![0xAAu8; 100]; 5]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p = enc.encode(&mut rng);
+        assert_eq!(p.k(), 5);
+        assert_eq!(p.payload_len(), 100);
+    }
+
+    #[test]
+    fn debug_format() {
+        let v = CodeVector::from_bytes(vec![0xAB, 0x00]);
+        assert_eq!(format!("{v:?}"), "CodeVector[AB 00]");
+    }
+}

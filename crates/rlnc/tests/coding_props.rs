@@ -1,0 +1,142 @@
+//! Property tests for the network-coding invariants MORE depends on.
+
+use more_rlnc::{CodeVector, Decoder, ForwarderBuffer, InnovationTracker, SourceEncoder};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn batch(k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..len).map(|j| (i * 37 + j * 11 + 3) as u8).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Encode → decode round-trips for arbitrary batch shapes and seeds.
+    #[test]
+    fn roundtrip(k in 1usize..24, len in 1usize..200, seed in any::<u64>()) {
+        let data = batch(k, len);
+        let enc = SourceEncoder::new(data.clone()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut dec = Decoder::new(k, len);
+        let mut tries = 0;
+        while !dec.is_complete() {
+            dec.receive(&enc.encode(&mut rng));
+            tries += 1;
+            prop_assert!(tries < 8 * k + 32, "decoder not converging");
+        }
+        prop_assert_eq!(dec.take_natives().unwrap(), data);
+    }
+
+    /// The tracker's innovativeness decision equals a rank computation:
+    /// absorbing N random vectors yields rank == #accepted, bounded by K.
+    #[test]
+    fn tracker_counts_rank(k in 1usize..16, n in 0usize..64, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut t = InnovationTracker::new(k);
+        let mut accepted = 0;
+        for _ in 0..n {
+            let v = CodeVector::random(k, &mut rng);
+            let pred = t.is_innovative(&v);
+            let got = t.absorb(&v);
+            prop_assert_eq!(pred, got);
+            accepted += usize::from(got);
+        }
+        prop_assert_eq!(t.rank(), accepted);
+        prop_assert!(t.rank() <= k);
+    }
+
+    /// Relaying through any chain of recoding forwarders preserves the data:
+    /// information may degrade (rank caps) but never corrupts.
+    #[test]
+    fn relay_chain_preserves_data(
+        k in 1usize..10,
+        hops in 1usize..4,
+        len in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let data = batch(k, len);
+        let enc = SourceEncoder::new(data.clone()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        let mut buffers: Vec<ForwarderBuffer> =
+            (0..hops).map(|_| ForwarderBuffer::new(k, len)).collect();
+        let mut dec = Decoder::new(k, len);
+
+        // Fill hop 0 from the source, each next hop from the previous,
+        // destination from the last hop.
+        while buffers[0].rank() < k {
+            buffers[0].receive(&enc.encode(&mut rng), &mut rng);
+        }
+        for h in 1..hops {
+            let mut guard = 0;
+            while buffers[h].rank() < k {
+                let (left, right) = buffers.split_at_mut(h);
+                let p = left[h - 1].emit(&mut rng).unwrap();
+                right[0].receive(&p, &mut rng);
+                guard += 1;
+                prop_assert!(guard < 64 * k + 64, "hop {h} not converging");
+            }
+        }
+        let mut guard = 0;
+        while !dec.is_complete() {
+            let p = buffers[hops - 1].emit(&mut rng).unwrap();
+            dec.receive(&p);
+            guard += 1;
+            prop_assert!(guard < 64 * k + 64, "destination not converging");
+        }
+        prop_assert_eq!(dec.take_natives().unwrap(), data);
+    }
+
+    /// A forwarder's emissions never exceed the information it received:
+    /// downstream rank ≤ upstream rank.
+    #[test]
+    fn no_information_amplification(
+        k in 2usize..12,
+        upstream_rank in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let upstream_rank = upstream_rank.min(k);
+        let data = batch(k, 32);
+        let enc = SourceEncoder::new(data).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut fwd = ForwarderBuffer::new(k, 32);
+        while fwd.rank() < upstream_rank {
+            // Restrict the source to the first `upstream_rank` natives so the
+            // forwarder can never see more than that much information.
+            let mut v = CodeVector::zero(k);
+            for i in 0..upstream_rank {
+                v.as_bytes_mut()[i] = rand::Rng::gen(&mut rng);
+            }
+            if v.is_zero() { continue; }
+            fwd.receive(&enc.encode_with(&v), &mut rng);
+        }
+        let mut down = InnovationTracker::new(k);
+        for _ in 0..32 {
+            if let Some(p) = fwd.emit(&mut rng) {
+                down.absorb(&p.vector);
+            }
+        }
+        prop_assert!(down.rank() <= upstream_rank);
+    }
+
+    /// Emitted payloads always match their code vectors (consistency between
+    /// header and data — what a malicious or buggy forwarder would violate).
+    #[test]
+    fn vector_payload_consistency(k in 1usize..12, seed in any::<u64>()) {
+        let data = batch(k, 48);
+        let enc = SourceEncoder::new(data).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut fwd = ForwarderBuffer::new(k, 48);
+        for _ in 0..k {
+            fwd.receive(&enc.encode(&mut rng), &mut rng);
+        }
+        for _ in 0..8 {
+            let p = fwd.emit(&mut rng).unwrap();
+            let reference = enc.encode_with(&p.vector);
+            prop_assert_eq!(&p.payload[..], &reference.payload[..]);
+        }
+    }
+}
