@@ -187,7 +187,7 @@ impl ExorFlow {
 
     fn k_of(&self, cfg: &ExorConfig, b: u32) -> usize {
         let nb = self.n_batches(cfg);
-        if b + 1 < nb || self.total % cfg.k == 0 {
+        if b + 1 < nb || self.total.is_multiple_of(cfg.k) {
             cfg.k
         } else {
             self.total % cfg.k
@@ -421,11 +421,7 @@ impl ExorAgent {
         }
         let mut queued = false;
         for p in 0..k {
-            if ns.holds[p]
-                && ns.map[p] != 0
-                && ns.map[p] >= rank
-                && !ns.direct_sent[p]
-            {
+            if ns.holds[p] && ns.map[p] != 0 && ns.map[p] >= rank && !ns.direct_sent[p] {
                 ns.direct_sent[p] = true;
                 let b = ns.batch;
                 ns.direct_queue.push_back((b, p as u32));
@@ -818,6 +814,21 @@ impl ExorAgent {
         let ns = &mut f.nodes[srcid.0];
         ns.turn_queue = (0..k as u32).collect();
         ns.in_turn = true;
+    }
+}
+
+impl mesh_sim::FlowAgent for ExorAgent {
+    fn flows_done(&self) -> bool {
+        self.all_done()
+    }
+
+    fn flow_progress(&self, index: usize) -> mesh_sim::FlowProgressView {
+        let p = self.progress(index);
+        mesh_sim::FlowProgressView {
+            delivered: p.delivered,
+            completed_at: p.completed_at,
+            done: p.done,
+        }
     }
 }
 

@@ -127,10 +127,7 @@ impl SrcrAgent {
     pub fn add_flow(&mut self, id: u32, src: NodeId, dst: NodeId, total: usize) -> usize {
         assert!(total > 0, "empty transfer");
         let etx = EtxTable::compute(&self.topo, dst, self.cfg.link_cost);
-        assert!(
-            etx.dist(src).is_finite(),
-            "source cannot reach destination"
-        );
+        assert!(etx.dist(src).is_finite(), "source cannot reach destination");
         let n = self.topo.n();
         let next_hop = (0..n).map(|i| etx.next_hop(NodeId(i))).collect();
         self.flows.push(SrcrFlow {
@@ -320,6 +317,21 @@ impl NodeAgent for SrcrAgent {
             });
         }
         None
+    }
+}
+
+impl mesh_sim::FlowAgent for SrcrAgent {
+    fn flows_done(&self) -> bool {
+        self.all_done()
+    }
+
+    fn flow_progress(&self, index: usize) -> mesh_sim::FlowProgressView {
+        let p = self.progress(index);
+        mesh_sim::FlowProgressView {
+            delivered: p.delivered,
+            completed_at: p.completed_at,
+            done: p.done,
+        }
     }
 }
 

@@ -1,0 +1,80 @@
+//! Benchmarks of the scenario engine itself.
+//!
+//! The registry redesign moved every run behind `Box<dyn
+//! ErasedFlowAgent>` (payload type erasure + dynamic dispatch). These
+//! benches quantify that cost against the old monomorphic path — the
+//! erasure adds one `Rc` per transmitted frame and a payload clone per
+//! reception, which must stay noise next to event-queue and medium
+//! work — and measure a whole scenario grid end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mesh_sim::{Erased, ErasedFlowAgent, SimConfig, Simulator, SEC};
+use mesh_topology::{generate, NodeId};
+use more_core::{MoreAgent, MoreConfig};
+use more_scenario::{Scenario, TopologySpec, TrafficSpec};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const PACKETS: usize = 64;
+
+fn line() -> mesh_topology::Topology {
+    generate::line(3, 0.85, 0.2, 25.0)
+}
+
+/// The pre-redesign path: a concrete `Simulator<MoreAgent>`.
+#[allow(clippy::borrowed_box)] // run_until's stop callback receives &A = &Box<dyn _>
+fn bench_direct_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_engine/more_transfer");
+    let topo = line();
+    group.bench_function("direct_generic", |b| {
+        b.iter(|| {
+            let mut agent = MoreAgent::new(topo.clone(), MoreConfig::default());
+            agent.add_flow(1, NodeId(0), NodeId(3), PACKETS);
+            let mut sim = Simulator::new(topo.clone(), SimConfig::default(), agent, 1);
+            sim.kick(NodeId(0));
+            sim.run_until(600 * SEC, |a: &MoreAgent| a.all_done());
+            black_box(sim.stats.total_tx())
+        })
+    });
+    // The registry path: same run through payload erasure + vtables.
+    group.bench_function("erased_dyn", |b| {
+        b.iter(|| {
+            let mut agent = MoreAgent::new(topo.clone(), MoreConfig::default());
+            agent.add_flow(1, NodeId(0), NodeId(3), PACKETS);
+            let boxed: Box<dyn ErasedFlowAgent> = Box::new(Erased(agent));
+            let mut sim = Simulator::new(topo.clone(), SimConfig::default(), boxed, 1);
+            sim.kick(NodeId(0));
+            sim.run_until(600 * SEC, |a: &Box<dyn ErasedFlowAgent>| a.flows_done());
+            black_box(sim.stats.total_tx())
+        })
+    });
+    group.finish();
+}
+
+/// A small three-protocol grid through the full builder machinery.
+fn bench_scenario_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_engine/grid");
+    let topo = Arc::new(line());
+    group.bench_function("3protos_x_2seeds", |b| {
+        b.iter(|| {
+            let records = Scenario::named("bench")
+                .topology(TopologySpec::Fixed(topo.clone()))
+                .traffic(TrafficSpec::SinglePair {
+                    src: NodeId(0),
+                    dst: NodeId(3),
+                })
+                .protocols(["Srcr", "ExOR", "MORE"])
+                .packets(32)
+                .deadline(120)
+                .seeds(1..=2)
+                .threads(1)
+                .run();
+            assert_eq!(records.len(), 6);
+            black_box(records.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(scenario_engine, bench_direct_dispatch, bench_scenario_grid);
+criterion_main!(scenario_engine);

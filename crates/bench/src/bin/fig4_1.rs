@@ -47,7 +47,11 @@ fn main() {
     let p_lo = path_losses.iter().cloned().fold(f64::INFINITY, f64::min);
     let p_hi = path_losses.iter().cloned().fold(0.0, f64::max);
     let p_mean = path_losses.iter().sum::<f64>() / path_losses.len() as f64;
-    println!("\nnodes: {}   directed links: {}", topo.n(), topo.links().count());
+    println!(
+        "\nnodes: {}   directed links: {}",
+        topo.n(),
+        topo.links().count()
+    );
     println!("all links  loss: min {lo:.2}  mean {mean:.2}  max {hi:.2}");
     println!("best-path  loss: min {p_lo:.2}  mean {p_mean:.2}  max {p_hi:.2}   (paper: 0-60 %, avg 27 %)");
     println!("paths: 1–{max_hops} hops (paper: 1–5)");

@@ -7,10 +7,10 @@
 //!
 //! `cargo run --release -p more-bench --bin fig4_2 -- --pairs 200 --packets 384`
 
-use mesh_topology::generate;
 use more_bench::common::{banner, threads, Args};
-use more_bench::stats::{cdf, median, quantile};
-use more_bench::{random_pairs, run_single, ExpConfig, Protocol};
+use more_bench::stats::{median, print_cdf, quantile};
+use more_bench::{throughputs_by_protocol, RunRecord, ALL3};
+use more_scenario::{Scenario, TrafficSpec};
 
 fn main() {
     let args = Args::parse();
@@ -23,68 +23,73 @@ fn main() {
         "Figure 4-2",
         "CDF of unicast throughput (MORE vs ExOR vs Srcr)",
     );
-    let topo = generate::testbed(topo_seed);
-    let pairs = random_pairs(&topo, n_pairs, seed);
     println!(
-        "testbed seed {topo_seed}, {} pairs, {} packets/transfer, K=32, 5.5 Mb/s\n",
-        pairs.len(),
-        packets
+        "testbed seed {topo_seed}, {n_pairs} pairs, {packets} packets/transfer, K=32, 5.5 Mb/s\n"
     );
 
-    let mut medians = Vec::new();
-    let mut results_by_proto = Vec::new();
-    for proto in Protocol::ALL3 {
-        let cfg = ExpConfig {
-            packets,
+    let records = Scenario::named("fig4_2")
+        .testbed(topo_seed)
+        .traffic(TrafficSpec::RandomPairs {
+            count: n_pairs,
             seed,
-            ..ExpConfig::default()
-        };
-        let results = more_bench::par_map(pairs.clone(), threads(), |&(s, d)| {
-            run_single(proto, &topo, s, d, &cfg)
-        });
-        let tputs: Vec<f64> = results.iter().map(|r| r.throughput_pps).collect();
-        println!("--- {} CDF (throughput pkt/s, cumulative fraction) ---", proto.name());
-        for (x, f) in cdf(&tputs).iter().step_by((tputs.len() / 12).max(1)) {
-            println!("  {x:8.1}  {f:.3}");
-        }
+        })
+        .protocols(ALL3)
+        .packets(packets)
+        .seeds([seed])
+        .threads(threads())
+        .run();
+
+    if records.is_empty() {
+        println!("(no runs — the scenario grid is empty; check --pairs/--runs)");
+        return;
+    }
+
+    let mut medians = Vec::new();
+    for (proto, tputs) in throughputs_by_protocol(&records) {
+        println!("--- {proto} CDF (throughput pkt/s, cumulative fraction) ---");
+        print_cdf(&tputs, 12);
+        let completed = records
+            .iter()
+            .filter(|r| r.protocol == proto && r.all_completed())
+            .count();
         println!(
             "  p10 {:7.1}   median {:7.1}   p90 {:7.1}   completed {}/{}\n",
             quantile(&tputs, 0.1),
             median(&tputs),
             quantile(&tputs, 0.9),
-            results.iter().filter(|r| r.completed).count(),
-            results.len()
+            completed,
+            tputs.len()
         );
         medians.push((proto, median(&tputs), quantile(&tputs, 0.1)));
-        results_by_proto.push((proto, results));
     }
 
     // Headline ratios, paper style.
-    let get = |p: Protocol| medians.iter().find(|(q, _, _)| *q == p).expect("ran");
-    let (_, m_more, p10_more) = get(Protocol::More);
-    let (_, m_exor, p10_exor) = get(Protocol::Exor);
-    let (_, m_srcr, p10_srcr) = get(Protocol::Srcr);
+    let get = |p: &str| {
+        medians
+            .iter()
+            .find(|(q, _, _)| q == p)
+            .unwrap_or_else(|| panic!("{p} ran"))
+    };
+    let (_, m_more, p10_more) = get("MORE");
+    let (_, m_exor, p10_exor) = get("ExOR");
+    let (_, m_srcr, p10_srcr) = get("Srcr");
     println!("paper: MORE/ExOR median ≈ 1.22, MORE/Srcr median ≈ 1.95");
     println!(
         "here : MORE/ExOR median = {:.2}, MORE/Srcr median = {:.2}",
         m_more / m_exor,
         m_more / m_srcr
     );
-    // Max per-pair gain over Srcr (the 10-12x tail claim).
-    let srcr_res = &results_by_proto
+    // Max per-pair gain over Srcr (the 10-12x tail claim); pairs align by
+    // traffic_index because every protocol saw the same pair list.
+    let per_pair = |proto: &str| -> Vec<&RunRecord> {
+        let mut rs: Vec<&RunRecord> = records.iter().filter(|r| r.protocol == proto).collect();
+        rs.sort_by_key(|r| r.traffic_index);
+        rs
+    };
+    let max_gain = per_pair("MORE")
         .iter()
-        .find(|(p, _)| *p == Protocol::Srcr)
-        .expect("ran")
-        .1;
-    let more_res = &results_by_proto
-        .iter()
-        .find(|(p, _)| *p == Protocol::More)
-        .expect("ran")
-        .1;
-    let max_gain = more_res
-        .iter()
-        .zip(srcr_res.iter())
-        .map(|(m, s)| m.throughput_pps / s.throughput_pps.max(0.1))
+        .zip(per_pair("Srcr").iter())
+        .map(|(m, s)| m.mean_throughput() / s.mean_throughput().max(0.1))
         .fold(0.0f64, f64::max);
     println!("paper: max per-pair MORE/Srcr gain 10-12x;  here: {max_gain:.1}x");
     println!(

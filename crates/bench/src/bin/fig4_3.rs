@@ -5,45 +5,74 @@
 //!
 //! `cargo run --release -p more-bench --bin fig4_3 -- --pairs 60`
 
-use mesh_topology::generate;
 use more_bench::common::{banner, threads, Args};
-use more_bench::{random_pairs, run_single, ExpConfig, Protocol};
+use more_bench::{stats, RunRecord, ALL3};
+use more_scenario::{Scenario, TrafficSpec};
 
 fn main() {
     let args = Args::parse();
     let n_pairs: usize = args.get("pairs", 60);
     let packets: usize = args.get("packets", 192);
     let seed: u64 = args.get("seed", 1);
-    let topo = generate::testbed(args.get("topo-seed", 1));
-    let pairs = random_pairs(&topo, n_pairs, seed);
-    let cfg = ExpConfig {
-        packets,
-        seed,
-        ..ExpConfig::default()
+    let topo_seed: u64 = args.get("topo-seed", 1);
+
+    banner(
+        "Figure 4-3",
+        "per-pair scatter: MORE vs Srcr and ExOR vs Srcr",
+    );
+    let records = Scenario::named("fig4_3")
+        .testbed(topo_seed)
+        .traffic(TrafficSpec::RandomPairs {
+            count: n_pairs,
+            seed,
+        })
+        .protocols(ALL3)
+        .packets(packets)
+        .seeds([seed])
+        .threads(threads())
+        .run();
+
+    if records.is_empty() {
+        println!("(no runs — the scenario grid is empty; check --pairs/--runs)");
+        return;
+    }
+
+    // Every protocol ran the same ordered pair list; join on traffic_index.
+    let by_proto = |proto: &str| -> Vec<&RunRecord> {
+        let mut rs: Vec<&RunRecord> = records.iter().filter(|r| r.protocol == proto).collect();
+        rs.sort_by_key(|r| r.traffic_index);
+        rs
     };
+    let (srcr, more, exor) = (by_proto("Srcr"), by_proto("MORE"), by_proto("ExOR"));
 
-    banner("Figure 4-3", "per-pair scatter: MORE vs Srcr and ExOR vs Srcr");
-    let runs: Vec<(f64, f64, f64)> = more_bench::par_map(pairs.clone(), threads(), |&(s, d)| {
-        let srcr = run_single(Protocol::Srcr, &topo, s, d, &cfg).throughput_pps;
-        let more = run_single(Protocol::More, &topo, s, d, &cfg).throughput_pps;
-        let exor = run_single(Protocol::Exor, &topo, s, d, &cfg).throughput_pps;
-        (srcr, more, exor)
-    });
-
-    println!("{:>10} {:>10} {:>10} {:>12}", "Srcr", "MORE", "ExOR", "pair");
-    for ((srcr, more, exor), (s, d)) in runs.iter().zip(&pairs) {
-        println!("{srcr:10.1} {more:10.1} {exor:10.1}   {s}->{d}");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12}",
+        "Srcr", "MORE", "ExOR", "pair"
+    );
+    let mut runs: Vec<(f64, f64, f64)> = Vec::new();
+    for ((s, m), e) in srcr.iter().zip(&more).zip(&exor) {
+        let flow = &s.flows[0];
+        let row = (
+            s.mean_throughput(),
+            m.mean_throughput(),
+            e.mean_throughput(),
+        );
+        println!(
+            "{:10.1} {:10.1} {:10.1}   {}->{}",
+            row.0, row.1, row.2, flow.src, flow.dsts[0]
+        );
+        runs.push(row);
     }
 
     // The paper's qualitative claim: gains concentrate on challenged flows.
-    let med_srcr = more_bench::stats::median(&runs.iter().map(|r| r.0).collect::<Vec<_>>());
+    let med_srcr = stats::median(&runs.iter().map(|r| r.0).collect::<Vec<_>>());
     let gain = |f: &dyn Fn(&(f64, f64, f64)) -> f64, challenged: bool| {
         let sel: Vec<f64> = runs
             .iter()
             .filter(|r| (r.0 < med_srcr) == challenged)
             .map(|r| f(r) / r.0.max(0.1))
             .collect();
-        more_bench::stats::median(&sel)
+        stats::median(&sel)
     };
     println!(
         "\nmedian MORE/Srcr gain: challenged flows {:.2}x, good flows {:.2}x (paper: gains concentrate on challenged flows)",

@@ -5,56 +5,59 @@
 //!
 //! `cargo run --release -p more-bench --bin fig4_5 -- --runs 40`
 
-use mesh_sim::SimConfig;
-use mesh_topology::generate;
 use more_bench::common::{banner, threads, Args};
 use more_bench::stats::{mean, std_dev};
-use more_bench::{random_pairs, run_flows, ExpConfig, Protocol};
+use more_bench::ALL3;
+use more_scenario::{Scenario, Sweep, TrafficSpec};
 
 fn main() {
     let args = Args::parse();
-    let runs: usize = args.get("runs", 40);
+    let runs: u64 = args.get("runs", 40);
     let packets: usize = args.get("packets", 128);
-    let topo = generate::testbed(args.get("topo-seed", 1));
+    let topo_seed: u64 = args.get("topo-seed", 1);
 
-    banner("Figure 4-5", "average per-flow throughput vs number of flows");
+    banner(
+        "Figure 4-5",
+        "average per-flow throughput vs number of flows",
+    );
     println!("{runs} random runs per point, {packets} packets per flow\n");
     println!(
         "{:>7} | {:>18} {:>18} {:>18}",
         "#flows", "Srcr", "ExOR", "MORE"
     );
 
+    // Each run seed draws a fresh random flow set (distinct sources: a
+    // node sources at most one flow), then every protocol runs the same
+    // sets — the sweep varies how many of those flows run concurrently.
+    let records = Scenario::named("fig4_5")
+        .testbed(topo_seed)
+        .traffic(TrafficSpec::RandomConcurrent {
+            n_flows: 1,
+            seed_offset: 1000,
+            distinct_sources: true,
+        })
+        .protocols(ALL3)
+        .sweep(Sweep::Flows(vec![1, 2, 3, 4]))
+        .packets(packets)
+        .seeds(1..=runs)
+        .threads(threads())
+        .run();
+
+    if records.is_empty() {
+        println!("(no runs — the scenario grid is empty; check --pairs/--runs)");
+        return;
+    }
+
     let mut per_count: Vec<Vec<f64>> = Vec::new();
     for n_flows in 1..=4usize {
         let mut row = format!("{n_flows:>7} |");
         let mut means = Vec::new();
-        for proto in Protocol::ALL3 {
-            let tputs: Vec<f64> = more_bench::par_map(
-                (0..runs as u64).collect(),
-                threads(),
-                |&run_seed| {
-                    // Distinct random flow sets per run; pairs chosen with
-                    // distinct sources (a node sources at most one flow).
-                    let mut flows = Vec::new();
-                    let mut used = std::collections::HashSet::new();
-                    for (s, d) in random_pairs(&topo, 40, 1000 + run_seed) {
-                        if used.insert(s) {
-                            flows.push((s, d));
-                            if flows.len() == n_flows {
-                                break;
-                            }
-                        }
-                    }
-                    let cfg = ExpConfig {
-                        packets,
-                        seed: run_seed + 1,
-                        ..ExpConfig::default()
-                    };
-                    let results =
-                        run_flows(proto, &topo, &flows, &cfg, &SimConfig::default());
-                    mean(&results.iter().map(|r| r.throughput_pps).collect::<Vec<_>>())
-                },
-            );
+        for proto in ALL3 {
+            let tputs: Vec<f64> = records
+                .iter()
+                .filter(|r| r.protocol == proto && r.value == Some(n_flows as f64))
+                .map(|r| r.mean_throughput())
+                .collect();
             row.push_str(&format!("  {:7.1} ±{:6.1}", mean(&tputs), std_dev(&tputs)));
             means.push(mean(&tputs));
         }

@@ -23,7 +23,9 @@ fn main() {
         let g = pair_gap(&topo, src, dst);
         println!("{p:>8} | {g:>10.3} | {k:>10}");
     }
-    println!("\npaper: lim p->0 gap = k (the ETX order discards B; EOTX exploits the k forwarders)");
+    println!(
+        "\npaper: lim p->0 gap = k (the ETX order discards B; EOTX exploits the k forwarders)"
+    );
 
     // And the k-sweep at fixed small p.
     println!("\ngap vs k at p = 0.01:");

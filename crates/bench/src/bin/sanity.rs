@@ -1,34 +1,46 @@
 //! Quick cross-protocol sanity comparison (not a paper figure): runs the
-//! three protocols over a handful of pairs and prints medians. Use before
-//! the full figure sweeps.
+//! three protocols over a handful of pairs and prints medians, then
+//! writes the raw records as JSON/CSV under results/. Use before the
+//! full figure sweeps.
 
-use mesh_topology::generate;
-use more_bench::{random_pairs, run_single, ExpConfig, Protocol};
+use more_bench::common::threads;
+use more_bench::{stats, throughputs_by_protocol, ALL3};
+use more_scenario::{record, Scenario, TrafficSpec};
 
 fn main() {
-    let topo = generate::testbed(1);
-    let pairs = random_pairs(&topo, 12, 42);
-    let cfg = ExpConfig {
-        packets: 128,
-        deadline_s: 180,
-        ..ExpConfig::default()
-    };
-    for proto in Protocol::ALL3 {
-        let results: Vec<_> = pairs
-            .iter()
-            .map(|&(s, d)| run_single(proto, &topo, s, d, &cfg))
-            .collect();
-        let tputs: Vec<f64> = results.iter().map(|r| r.throughput_pps).collect();
-        let completed = results.iter().filter(|r| r.completed).count();
-        let conc: Vec<f64> = results.iter().map(|r| r.concurrency).collect();
+    let records = Scenario::named("sanity")
+        .testbed(1)
+        .traffic(TrafficSpec::RandomPairs {
+            count: 12,
+            seed: 42,
+        })
+        .protocols(ALL3)
+        .packets(128)
+        .deadline(180)
+        .threads(threads())
+        .run();
+
+    if records.is_empty() {
+        println!("(no runs — the scenario grid is empty; check --pairs/--runs)");
+        return;
+    }
+
+    for (proto, tputs) in throughputs_by_protocol(&records) {
+        let of_proto: Vec<_> = records.iter().filter(|r| r.protocol == proto).collect();
+        let completed = of_proto.iter().filter(|r| r.all_completed()).count();
+        let conc: Vec<f64> = of_proto.iter().map(|r| r.concurrency).collect();
         println!(
             "{:>5}: median {:7.1} pkt/s  mean {:7.1}  completed {}/{}  concurrency {:.3}",
-            proto.name(),
-            more_bench::stats::median(&tputs),
-            more_bench::stats::mean(&tputs),
+            proto,
+            stats::median(&tputs),
+            stats::mean(&tputs),
             completed,
-            pairs.len(),
-            more_bench::stats::mean(&conc),
+            of_proto.len(),
+            stats::mean(&conc),
         );
     }
+
+    record::write_json("results/sanity.json", &records).expect("write results/sanity.json");
+    record::write_csv("results/sanity.csv", &records).expect("write results/sanity.csv");
+    println!("\nraw records: results/sanity.json, results/sanity.csv");
 }

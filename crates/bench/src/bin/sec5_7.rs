@@ -13,7 +13,10 @@ use more_bench::common::{banner, Args};
 
 fn main() {
     let args = Args::parse();
-    banner("§5.7", "ETX-order vs EOTX-order gap across all testbed pairs");
+    banner(
+        "§5.7",
+        "ETX-order vs EOTX-order gap across all testbed pairs",
+    );
     for seed in 0..args.get("topos", 4u64) {
         let topo = generate::testbed(seed);
         let stats = testbed_gap_stats(&topo, 1e-9);

@@ -1,9 +1,20 @@
 //! Experiment harness shared by every figure binary.
 //!
-//! One [`run_flows`] call = one testbed run of the paper: a topology, a
-//! protocol, one or more `src → dst` transfers, a deadline, a seed. The
-//! helpers here keep every figure binary to "pick pairs, sweep parameter,
-//! print the paper's series".
+//! The heavy lifting lives in [`more_scenario`]: declare a scenario
+//! (topology, traffic, protocols, sweeps, seeds) with
+//! [`more_scenario::Scenario`], run it, and read structured
+//! [`more_scenario::RunRecord`]s. Every figure binary follows that
+//! pattern — "declare scenario, print series".
+//!
+//! This crate keeps:
+//!
+//! * [`common`] — tiny CLI parsing and banners for the binaries;
+//! * [`stats`] — quantiles/CDF helpers for printing the paper's series;
+//! * thin compatibility wrappers ([`run_single`], [`run_flows`]) over the
+//!   protocol registry for callers that want one run, not a grid. The
+//!   old closed `Protocol` enum is gone: protocols are registry names
+//!   ("MORE", "ExOR", "Srcr", "Srcr-autorate", or anything registered
+//!   by the caller).
 //!
 //! Throughput is packets/second over the transfer, the unit of Figs
 //! 4-2…4-7. Deadline-limited runs report what was delivered by the
@@ -13,67 +24,20 @@
 pub mod common;
 pub mod stats;
 
-use baselines::{ExorAgent, ExorConfig, SrcrAgent, SrcrConfig};
-use mesh_sim::{Bitrate, SimConfig, Simulator, Time, SEC};
+use mesh_sim::SimConfig;
 use mesh_topology::{NodeId, Topology};
-use more_core::{MoreAgent, MoreConfig};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use more_scenario::{Scenario, TopologySpec, TrafficSpec};
+use std::sync::Arc;
 
-/// Which protocol a run exercises.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Protocol {
-    More,
-    Exor,
-    Srcr,
-    /// Srcr with Onoe autorate (Fig 4-6).
-    SrcrAutorate,
-}
+pub use more_scenario::{
+    random_pairs, ExpConfig, ProtocolFactory, ProtocolRegistry, RunRecord, Sweep,
+};
 
-impl Protocol {
-    pub const ALL3: [Protocol; 3] = [Protocol::Srcr, Protocol::Exor, Protocol::More];
+/// The paper's three-way comparison, in plotting order.
+pub const ALL3: [&str; 3] = ["Srcr", "ExOR", "MORE"];
 
-    pub fn name(self) -> &'static str {
-        match self {
-            Protocol::More => "MORE",
-            Protocol::Exor => "ExOR",
-            Protocol::Srcr => "Srcr",
-            Protocol::SrcrAutorate => "Srcr-autorate",
-        }
-    }
-}
-
-/// Shared experiment parameters (§4.1.2 defaults).
-#[derive(Clone, Copy, Debug)]
-pub struct ExpConfig {
-    /// Packets per transfer (the paper sends a 5 MB file ≈ 3500 packets;
-    /// experiments default to 12 batches ≈ 384 so sweeps stay tractable —
-    /// see DESIGN.md substitutions).
-    pub packets: usize,
-    /// Batch size K for MORE and ExOR.
-    pub k: usize,
-    /// Fixed data bit-rate.
-    pub bitrate: Bitrate,
-    /// Simulated-time budget per run.
-    pub deadline_s: u64,
-    /// RNG seed (medium + protocol randomness).
-    pub seed: u64,
-}
-
-impl Default for ExpConfig {
-    fn default() -> Self {
-        ExpConfig {
-            packets: 384,
-            k: 32,
-            bitrate: Bitrate::B5_5,
-            deadline_s: 240,
-            seed: 1,
-        }
-    }
-}
-
-/// One flow's outcome.
+/// One flow's outcome (compatibility shape; scenario code reads
+/// [`more_scenario::FlowRecord`] instead).
 #[derive(Clone, Copy, Debug)]
 pub struct FlowResult {
     pub src: NodeId,
@@ -90,141 +54,43 @@ pub struct FlowResult {
     pub total_tx: u64,
 }
 
-fn throughput(delivered: usize, completed_at: Option<Time>, deadline: Time) -> (f64, bool) {
-    match completed_at {
-        Some(t) if t > 0 => (delivered as f64 / (t as f64 / SEC as f64), true),
-        _ => (delivered as f64 / (deadline as f64 / SEC as f64), false),
-    }
-}
-
-/// Runs `flows` concurrently under `proto` and returns per-flow results.
+/// Runs `flows` concurrently under the named protocol and returns
+/// per-flow results. Thin wrapper over the scenario engine with the
+/// default registry.
 pub fn run_flows(
-    proto: Protocol,
+    proto: &str,
     topo: &Topology,
     flows: &[(NodeId, NodeId)],
     cfg: &ExpConfig,
     sim_cfg: &SimConfig,
 ) -> Vec<FlowResult> {
-    let deadline = cfg.deadline_s * SEC;
-    let mut sim_cfg = *sim_cfg;
-    sim_cfg.bitrate = cfg.bitrate;
-    match proto {
-        Protocol::More => {
-            let mcfg = MoreConfig {
-                k: cfg.k,
-                ..MoreConfig::default()
-            };
-            let mut agent = MoreAgent::new(topo.clone(), mcfg);
-            for (i, &(s, d)) in flows.iter().enumerate() {
-                agent.add_flow(i as u32 + 1, s, d, cfg.packets);
-            }
-            let mut sim = Simulator::new(topo.clone(), sim_cfg, agent, cfg.seed);
-            for &(s, _) in flows {
-                sim.kick(s);
-            }
-            sim.run_until(deadline, |a: &MoreAgent| a.all_done());
-            let conc = concurrency(&sim.stats);
-            flows
-                .iter()
-                .enumerate()
-                .map(|(i, &(s, d))| {
-                    let p = sim.agent.progress(i);
-                    let (tput, completed) =
-                        throughput(p.delivered_packets, p.completed_at, deadline);
-                    FlowResult {
-                        src: s,
-                        dst: d,
-                        throughput_pps: tput,
-                        delivered: p.delivered_packets,
-                        completed,
-                        concurrency: conc,
-                        total_tx: sim.stats.total_tx(),
-                    }
-                })
-                .collect()
-        }
-        Protocol::Exor => {
-            let ecfg = ExorConfig {
-                k: cfg.k,
-                ..ExorConfig::default()
-            };
-            let mut agent = ExorAgent::new(topo.clone(), ecfg);
-            for (i, &(s, d)) in flows.iter().enumerate() {
-                let fi = agent.add_flow(i as u32 + 1, s, d, cfg.packets);
-                agent.start(fi);
-            }
-            let mut sim = Simulator::new(topo.clone(), sim_cfg, agent, cfg.seed);
-            for &(s, _) in flows {
-                sim.kick(s);
-            }
-            sim.run_until(deadline, |a: &ExorAgent| a.all_done());
-            let conc = concurrency(&sim.stats);
-            flows
-                .iter()
-                .enumerate()
-                .map(|(i, &(s, d))| {
-                    let p = sim.agent.progress(i);
-                    let (tput, completed) = throughput(p.delivered, p.completed_at, deadline);
-                    FlowResult {
-                        src: s,
-                        dst: d,
-                        throughput_pps: tput,
-                        delivered: p.delivered,
-                        completed,
-                        concurrency: conc,
-                        total_tx: sim.stats.total_tx(),
-                    }
-                })
-                .collect()
-        }
-        Protocol::Srcr | Protocol::SrcrAutorate => {
-            let scfg = SrcrConfig {
-                autorate: proto == Protocol::SrcrAutorate,
-                ..SrcrConfig::default()
-            };
-            let mut agent = SrcrAgent::new(topo.clone(), scfg, cfg.bitrate);
-            for (i, &(s, d)) in flows.iter().enumerate() {
-                agent.add_flow(i as u32 + 1, s, d, cfg.packets);
-            }
-            let mut sim = Simulator::new(topo.clone(), sim_cfg, agent, cfg.seed);
-            for &(s, _) in flows {
-                sim.kick(s);
-            }
-            sim.run_until(deadline, |a: &SrcrAgent| a.all_done());
-            let conc = concurrency(&sim.stats);
-            flows
-                .iter()
-                .enumerate()
-                .map(|(i, &(s, d))| {
-                    let p = sim.agent.progress(i);
-                    let (tput, completed) = throughput(p.delivered, p.completed_at, deadline);
-                    FlowResult {
-                        src: s,
-                        dst: d,
-                        throughput_pps: tput,
-                        delivered: p.delivered,
-                        completed,
-                        concurrency: conc,
-                        total_tx: sim.stats.total_tx(),
-                    }
-                })
-                .collect()
-        }
-    }
-}
-
-fn concurrency(stats: &mesh_sim::SimStats) -> f64 {
-    let total = stats.total_airtime();
-    if total == 0 {
-        0.0
-    } else {
-        stats.concurrent_airtime as f64 / total as f64
-    }
+    let records = Scenario::named("run_flows")
+        .topology(TopologySpec::Fixed(Arc::new(topo.clone())))
+        .traffic(TrafficSpec::Concurrent(flows.to_vec()))
+        .protocol(proto)
+        .exp_config(*cfg)
+        .sim_config(*sim_cfg)
+        .seeds([cfg.seed])
+        .threads(1)
+        .run();
+    let r = &records[0];
+    r.flows
+        .iter()
+        .map(|f| FlowResult {
+            src: f.src,
+            dst: f.dsts[0],
+            throughput_pps: f.throughput_pps,
+            delivered: f.delivered,
+            completed: f.completed,
+            concurrency: r.concurrency,
+            total_tx: r.total_tx,
+        })
+        .collect()
 }
 
 /// Runs one `src → dst` transfer.
 pub fn run_single(
-    proto: Protocol,
+    proto: &str,
     topo: &Topology,
     src: NodeId,
     dst: NodeId,
@@ -233,50 +99,34 @@ pub fn run_single(
     run_flows(proto, topo, &[(src, dst)], cfg, &SimConfig::default())[0]
 }
 
-/// Deterministically samples `count` distinct reachable ordered pairs.
-pub fn random_pairs(topo: &Topology, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
-    let mut all: Vec<(NodeId, NodeId)> = Vec::new();
-    for s in topo.nodes() {
-        for d in topo.nodes() {
-            if s != d && topo.hop_count(s, d).is_some() {
-                all.push((s, d));
-            }
-        }
-    }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    all.shuffle(&mut rng);
-    all.truncate(count);
-    all
-}
-
 /// Maps `f` over `items` on `threads` worker threads, preserving order.
+///
+/// Thin wrapper over [`more_scenario::exec::par_map`], kept for source
+/// compatibility with pre-scenario harness code.
 pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let items_ref = &items;
-    let f_ref = &f;
-    let results_mutex = parking_lot::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f_ref(&items_ref[i]);
-                results_mutex.lock()[i] = Some(r);
-            });
-        }
-    })
-    .expect("worker panicked");
-    drop(results_mutex);
-    results.into_iter().map(|r| r.expect("all filled")).collect()
+    more_scenario::exec::par_map(items, threads, f)
+}
+
+/// Splits records into `(protocol, per-traffic-index throughputs)` in
+/// first-appearance protocol order — the shape every CDF figure prints.
+pub fn throughputs_by_protocol(records: &[RunRecord]) -> Vec<(String, Vec<f64>)> {
+    let mut out: Vec<(String, Vec<f64>)> = Vec::new();
+    for r in records {
+        let entry = match out.iter_mut().find(|(p, _)| *p == r.protocol) {
+            Some(e) => e,
+            None => {
+                out.push((r.protocol.clone(), Vec::new()));
+                out.last_mut().expect("just pushed")
+            }
+        };
+        entry.1.extend(r.throughputs());
+    }
+    out
 }
 
 #[cfg(test)]
@@ -292,11 +142,11 @@ mod test {
             deadline_s: 240,
             ..ExpConfig::default()
         };
-        for proto in Protocol::ALL3 {
+        for proto in ALL3 {
             let r = run_single(proto, &topo, NodeId(0), NodeId(19), &cfg);
-            assert!(r.completed, "{} did not complete", proto.name());
-            assert_eq!(r.delivered, 32, "{}", proto.name());
-            assert!(r.throughput_pps > 1.0, "{}", proto.name());
+            assert!(r.completed, "{proto} did not complete");
+            assert_eq!(r.delivered, 32, "{proto}");
+            assert!(r.throughput_pps > 1.0, "{proto}");
         }
     }
 
@@ -317,5 +167,25 @@ mod test {
     fn par_map_preserves_order() {
         let out = par_map((0..100).collect(), 8, |&x: &i32| x * 2);
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn throughputs_group_in_protocol_order() {
+        let topo = generate::line(2, 0.9, 0.3, 25.0);
+        let records = Scenario::named("t")
+            .topology(TopologySpec::Fixed(Arc::new(topo)))
+            .traffic(TrafficSpec::EachPair(vec![
+                (NodeId(0), NodeId(2)),
+                (NodeId(2), NodeId(0)),
+            ]))
+            .protocols(["Srcr", "MORE"])
+            .packets(8)
+            .deadline(60)
+            .run();
+        let groups = throughputs_by_protocol(&records);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "Srcr");
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, "MORE");
     }
 }

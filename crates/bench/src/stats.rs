@@ -48,6 +48,39 @@ pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
         .collect()
 }
 
+/// Prints a CDF as `value  fraction` rows, downsampled to about
+/// `max_rows` evenly spaced points with the final point always included
+/// (so the series visibly reaches 1.0).
+///
+/// Guarded against the historical `step_by(len / 12)` pattern: empty
+/// input prints a placeholder instead of panicking, and short inputs
+/// print every point instead of nothing.
+pub fn print_cdf(values: &[f64], max_rows: usize) {
+    for line in cdf_lines(values, max_rows) {
+        println!("{line}");
+    }
+}
+
+/// The rows [`print_cdf`] prints (separated for testability).
+pub fn cdf_lines(values: &[f64], max_rows: usize) -> Vec<String> {
+    if values.is_empty() {
+        return vec!["  (no data)".to_string()];
+    }
+    let points = cdf(values);
+    let step = (points.len() / max_rows.max(1)).max(1);
+    let mut out: Vec<String> = points
+        .iter()
+        .step_by(step)
+        .map(|(x, f)| format!("  {x:8.1}  {f:.3}"))
+        .collect();
+    let last = points.len() - 1;
+    if !last.is_multiple_of(step) {
+        let (x, f) = points[last];
+        out.push(format!("  {x:8.1}  {f:.3}"));
+    }
+    out
+}
+
 /// Renders a CDF as a fixed-grid ASCII table of the requested quantiles.
 pub fn cdf_table(label: &str, values: &[f64], quantiles: &[f64]) -> String {
     let mut out = format!("{label:>14} |");
@@ -88,5 +121,20 @@ mod test {
     #[should_panic(expected = "empty")]
     fn empty_median_panics() {
         let _ = median(&[]);
+    }
+
+    #[test]
+    fn cdf_lines_never_panic_and_reach_one() {
+        assert_eq!(cdf_lines(&[], 12), vec!["  (no data)".to_string()]);
+        for n in [1usize, 2, 5, 11, 12, 13, 100] {
+            let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let lines = cdf_lines(&values, 12);
+            assert!(!lines.is_empty(), "n={n}");
+            assert!(
+                lines.last().expect("non-empty").contains("1.000"),
+                "n={n}: CDF must end at 1.0, got {lines:?}"
+            );
+            assert!(lines.len() <= 14, "n={n}: too many rows ({})", lines.len());
+        }
     }
 }

@@ -157,6 +157,7 @@ impl From<Gf256> for u8 {
 impl Add for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)] // XOR is GF(2^8) addition
     fn add(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
     }
@@ -164,6 +165,7 @@ impl Add for Gf256 {
 
 impl AddAssign for Gf256 {
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)] // XOR is GF(2^8) addition
     fn add_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }
@@ -172,6 +174,7 @@ impl AddAssign for Gf256 {
 impl Sub for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)] // XOR is GF(2^8) addition
     fn sub(self, rhs: Gf256) -> Gf256 {
         // Characteristic 2: subtraction is addition.
         Gf256(self.0 ^ rhs.0)
@@ -180,6 +183,7 @@ impl Sub for Gf256 {
 
 impl SubAssign for Gf256 {
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)] // XOR is GF(2^8) addition
     fn sub_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }

@@ -119,6 +119,7 @@ mod test {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (a, b) index the full 256x256 table
     fn mul_table_symmetric_with_identity_row() {
         for a in 0..256usize {
             assert_eq!(MUL[1][a], a as u8);

@@ -123,9 +123,9 @@ impl ForwarderPlan {
         let mut protected: std::collections::HashSet<usize> = std::collections::HashSet::new();
         loop {
             let total: f64 = z.iter().sum();
-            let over_cap = cfg.max_forwarders.is_some_and(|cap| {
-                survivors.len().saturating_sub(2) > cap
-            });
+            let over_cap = cfg
+                .max_forwarders
+                .is_some_and(|cap| survivors.len().saturating_sub(2) > cap);
             // Lowest-z removable forwarder that violates a rule.
             let candidate = survivors
                 .iter()
@@ -133,8 +133,7 @@ impl ForwarderPlan {
                 .filter(|&i| i != src.0 && i != dst.0 && !protected.contains(&i))
                 .filter(|&i| {
                     over_cap
-                        || (cfg.prune_fraction > 0.0
-                            && z[i] < cfg.prune_fraction * total - EPS)
+                        || (cfg.prune_fraction > 0.0 && z[i] < cfg.prune_fraction * total - EPS)
                 })
                 .min_by(|&a, &b| z[a].partial_cmp(&z[b]).expect("z is finite"));
             let Some(worst) = candidate else { break };
@@ -252,22 +251,14 @@ mod test {
     use crate::etx::{EtxTable, LinkCost};
     use mesh_topology::generate;
 
-    fn plan_for(
-        topo: &Topology,
-        src: usize,
-        dst: usize,
-        cfg: &PlanConfig,
-    ) -> ForwarderPlan {
+    fn plan_for(topo: &Topology, src: usize, dst: usize, cfg: &PlanConfig) -> ForwarderPlan {
         let etx = EtxTable::compute(topo, NodeId(dst), LinkCost::Forward);
         ForwarderPlan::compute(topo, NodeId(src), NodeId(dst), etx.distances(), cfg)
     }
 
     #[test]
     fn single_perfect_link() {
-        let t = mesh_topology::Topology::from_matrix(
-            "pair",
-            vec![vec![0.0, 1.0], vec![0.0, 0.0]],
-        );
+        let t = mesh_topology::Topology::from_matrix("pair", vec![vec![0.0, 1.0], vec![0.0, 0.0]]);
         let p = plan_for(&t, 0, 1, &PlanConfig::unpruned());
         assert!((p.z[0] - 1.0).abs() < 1e-9);
         assert!((p.load[1] - 1.0).abs() < 1e-9);
@@ -277,10 +268,7 @@ mod test {
 
     #[test]
     fn single_lossy_link_costs_inverse_p() {
-        let t = mesh_topology::Topology::from_matrix(
-            "pair",
-            vec![vec![0.0, 0.25], vec![0.0, 0.0]],
-        );
+        let t = mesh_topology::Topology::from_matrix("pair", vec![vec![0.0, 0.25], vec![0.0, 0.0]]);
         let p = plan_for(&t, 0, 1, &PlanConfig::unpruned());
         assert!((p.z[0] - 4.0).abs() < 1e-9, "z_src = 1/p");
         assert!((p.load[1] - 1.0).abs() < 1e-9, "delivered flow = 1");

@@ -113,6 +113,7 @@ impl EotxTable {
                     .then(a.cmp(&b))
             });
             let mut new_dist = dist.clone();
+            #[allow(clippy::needless_range_loop)] // i is also compared against dst
             for i in 0..n {
                 if i == dst.0 {
                     continue;
@@ -233,10 +234,7 @@ mod test {
 
     #[test]
     fn single_link_eotx_is_inverse_probability() {
-        let t = mesh_topology::Topology::from_matrix(
-            "pair",
-            vec![vec![0.0, 0.25], vec![0.0, 0.0]],
-        );
+        let t = mesh_topology::Topology::from_matrix("pair", vec![vec![0.0, 0.25], vec![0.0, 0.0]]);
         let table = EotxTable::compute(&t, NodeId(1));
         assert_close(table.dist(NodeId(0)), 4.0, 1e-9, "1/p");
     }

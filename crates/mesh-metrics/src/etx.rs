@@ -196,10 +196,7 @@ mod test {
 
     #[test]
     fn unreachable_is_infinite() {
-        let t = mesh_topology::Topology::from_matrix(
-            "split",
-            vec![vec![0.0, 0.0], vec![0.0, 0.0]],
-        );
+        let t = mesh_topology::Topology::from_matrix("split", vec![vec![0.0, 0.0], vec![0.0, 0.0]]);
         let table = EtxTable::compute(&t, NodeId(1), LinkCost::Forward);
         assert!(table.dist(NodeId(0)).is_infinite());
         assert!(table.path_from(NodeId(0)).is_none());
@@ -208,10 +205,7 @@ mod test {
     #[test]
     fn forward_reverse_accounts_for_ack_loss() {
         // Symmetric 0.8 link: fwd-only ETX = 1.25, fwd·rev = 1/(0.64) ≈ 1.5625.
-        let t = mesh_topology::Topology::from_matrix(
-            "sym",
-            vec![vec![0.0, 0.8], vec![0.8, 0.0]],
-        );
+        let t = mesh_topology::Topology::from_matrix("sym", vec![vec![0.0, 0.8], vec![0.8, 0.0]]);
         let f = EtxTable::compute(&t, NodeId(1), LinkCost::Forward);
         let fr = EtxTable::compute(&t, NodeId(1), LinkCost::ForwardReverse);
         assert!((f.dist(NodeId(0)) - 1.25).abs() < 1e-9);
@@ -221,10 +215,8 @@ mod test {
     #[test]
     fn asymmetric_link_unusable_with_ack() {
         // Forward link exists but no reverse: unusable under ForwardReverse.
-        let t = mesh_topology::Topology::from_matrix(
-            "oneway",
-            vec![vec![0.0, 0.9], vec![0.0, 0.0]],
-        );
+        let t =
+            mesh_topology::Topology::from_matrix("oneway", vec![vec![0.0, 0.9], vec![0.0, 0.0]]);
         let fr = EtxTable::compute(&t, NodeId(1), LinkCost::ForwardReverse);
         assert!(fr.dist(NodeId(0)).is_infinite());
     }
@@ -243,7 +235,7 @@ mod test {
     }
 
     #[test]
-    fn testbed_all_reachable_and_monotone_along_paths(){
+    fn testbed_all_reachable_and_monotone_along_paths() {
         let t = generate::testbed(1);
         let table = EtxTable::compute(&t, NodeId(0), LinkCost::Forward);
         for i in t.nodes() {

@@ -179,8 +179,7 @@ mod test {
             let t = generate::testbed(seed);
             let (s, d) = (NodeId(17), NodeId(1));
             let etx = EtxTable::compute(&t, d, LinkCost::Forward);
-            let plan =
-                ForwarderPlan::compute(&t, s, d, etx.distances(), &PlanConfig::unpruned());
+            let plan = ForwarderPlan::compute(&t, s, d, etx.distances(), &PlanConfig::unpruned());
             let order = order_for(&t, etx.distances(), s.0);
             assert_eq!(plan.order, order, "participant sets differ");
             let sol = FlowSolution::compute(&t, &order, s);
@@ -207,10 +206,7 @@ mod test {
         for i in t.nodes() {
             for j in t.nodes() {
                 if sol.x[i.0][j.0] > 0.0 {
-                    assert!(
-                        rank[&i] > rank[&j],
-                        "flow from {i} to non-cheaper {j}"
-                    );
+                    assert!(rank[&i] > rank[&j], "flow from {i} to non-cheaper {j}");
                 }
             }
         }
@@ -218,10 +214,7 @@ mod test {
 
     #[test]
     fn two_node_flow() {
-        let t = mesh_topology::Topology::from_matrix(
-            "pair",
-            vec![vec![0.0, 0.5], vec![0.0, 0.0]],
-        );
+        let t = mesh_topology::Topology::from_matrix("pair", vec![vec![0.0, 0.5], vec![0.0, 0.0]]);
         let order = vec![NodeId(1), NodeId(0)];
         let sol = FlowSolution::compute(&t, &order, NodeId(0));
         assert!((sol.z[0] - 2.0).abs() < 1e-9);

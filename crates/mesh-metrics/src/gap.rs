@@ -14,12 +14,7 @@ use mesh_topology::{NodeId, Topology};
 
 /// Total expected transmissions for a unit flow when forwarders are
 /// ordered by the given metric (no pruning — the theory-side cost).
-pub fn total_cost_under_metric(
-    topo: &Topology,
-    src: NodeId,
-    dst: NodeId,
-    metric: &[f64],
-) -> f64 {
+pub fn total_cost_under_metric(topo: &Topology, src: NodeId, dst: NodeId, metric: &[f64]) -> f64 {
     ForwarderPlan::compute(topo, src, dst, metric, &PlanConfig::unpruned()).total_cost()
 }
 

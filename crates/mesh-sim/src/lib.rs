@@ -29,11 +29,13 @@
 //! `on_tx_done`. Everything is deterministic in the seed.
 
 pub mod autorate;
+pub mod erased;
 pub mod medium;
 pub mod simulator;
 pub mod stats;
 
 pub use autorate::OnoeAutorate;
+pub use erased::{DynPayload, Erased, ErasedFlowAgent, FlowAgent, FlowProgressView};
 pub use medium::Medium;
 pub use simulator::{Ctx, Simulator};
 pub use stats::SimStats;

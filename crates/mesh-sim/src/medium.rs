@@ -155,10 +155,7 @@ impl Medium {
                 continue;
             }
             // Half-duplex: r transmitting during any part of f's airtime.
-            let r_was_transmitting = self
-                .active
-                .iter()
-                .any(|t| t.tx == r && overlaps(t, f));
+            let r_was_transmitting = self.active.iter().any(|t| t.tx == r && overlaps(t, f));
             if r_was_transmitting {
                 continue;
             }
@@ -347,8 +344,7 @@ mod test {
                 end: 110,
             });
             let (mut col, mut cap) = (0, 0);
-            let rx =
-                m.evaluate_reception(2 * i, &t, &cfg(), &mut rng, &mut col, &mut cap);
+            let rx = m.evaluate_reception(2 * i, &t, &cfg(), &mut rng, &mut col, &mut cap);
             if !rx.is_empty() {
                 wins += 1;
                 assert_eq!(cap, 1);

@@ -89,7 +89,9 @@ enum MacState {
     /// A data frame (or our MAC ACK) is on the air.
     Transmitting,
     /// Unicast sent; waiting for the MAC ACK.
-    AwaitAck { seq: u64 },
+    AwaitAck {
+        seq: u64,
+    },
 }
 
 /// An unacknowledged unicast retained for retransmission.
@@ -276,8 +278,7 @@ impl<A: NodeAgent> Simulator<A> {
         // Defer while the medium is sensed busy (or our radio is occupied).
         let sensed_busy = self.medium.busy_until(node, self.now);
         if let Some(busy_end) = own_busy.into_iter().chain(sensed_busy).max() {
-            let cw = self
-                .current[node.0]
+            let cw = self.current[node.0]
                 .as_ref()
                 .map(|c| c.cw)
                 .unwrap_or(self.cfg.cw_min);
@@ -386,7 +387,10 @@ impl<A: NodeAgent> Simulator<A> {
                             // Receiver answers with a MAC ACK after SIFS.
                             self.push(
                                 self.now + self.cfg.sifs_us,
-                                EventKind::StartMacAck { node: dst, data_id: id },
+                                EventKind::StartMacAck {
+                                    node: dst,
+                                    data_id: id,
+                                },
                             );
                         }
                         // Await the ACK either way; timeout covers loss.
@@ -396,10 +400,7 @@ impl<A: NodeAgent> Simulator<A> {
                         let wait = self.cfg.sifs_us
                             + self.cfg.ack_bitrate.airtime(self.cfg.mac_ack_bytes)
                             + 2 * self.cfg.slot_us;
-                        self.push(
-                            self.now + wait,
-                            EventKind::AckTimeout { node: sender, seq },
-                        );
+                        self.push(self.now + wait, EventKind::AckTimeout { node: sender, seq });
                     }
                 }
             }

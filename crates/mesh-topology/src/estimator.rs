@@ -38,6 +38,7 @@ impl LinkEstimator {
     ///
     /// Deterministic in `seed`. The returned topology preserves node count
     /// and positions; only delivery probabilities are perturbed.
+    #[allow(clippy::needless_range_loop)] // index pairs (i,j) address a square matrix
     pub fn estimate(&self, truth: &Topology, seed: u64) -> Topology {
         assert!(self.probes > 0, "need at least one probe");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);

@@ -53,6 +53,7 @@ pub fn motivating_symmetric() -> Topology {
 /// Positions are laid out on a line with `spacing` meters per hop so the
 /// simulator's carrier-sense range determines which hops can fire
 /// concurrently (the Fig 4-4 scenario).
+#[allow(clippy::needless_range_loop)] // index pairs (i,j) address a square matrix
 pub fn line(hops: usize, p_adj: f64, skip_decay: f64, spacing: f64) -> Topology {
     assert!(hops >= 1, "need at least one hop");
     assert!((0.0..=1.0).contains(&p_adj));
@@ -92,6 +93,7 @@ pub fn line(hops: usize, p_adj: f64, skip_decay: f64, spacing: f64) -> Topology 
 /// ETX ranks B with the source (ETX = 1/p + 1), so ETX-ordered forwarding
 /// "will always discard B as a forwarder"; EOTX exploits the k independent
 /// C-forwarders and drives the cost ratio to k as p → 0.
+#[allow(clippy::needless_range_loop)] // index pairs (i,j) address a square matrix
 pub fn diamond(k: usize, p: f64) -> Topology {
     assert!(k >= 1, "need at least one C node");
     assert!((0.0..=1.0).contains(&p));
@@ -115,6 +117,7 @@ pub fn diamond(k: usize, p: f64) -> Topology {
 /// ways), for protocols that need reverse paths (MAC ACKs, batch ACKs).
 /// Forward metric structure — and hence the ETX-vs-EOTX ordering story —
 /// is unchanged.
+#[allow(clippy::needless_range_loop)] // index pairs (i,j) address a square matrix
 pub fn diamond_symmetricized(k: usize, p: f64) -> Topology {
     let base = diamond(k, p);
     let n = base.n();
@@ -250,9 +253,9 @@ pub fn scatter_positions(
             y: rng.gen::<f64>() * depth,
             floor: (positions.len() as i32) % floors,
         };
-        let ok = positions.iter().all(|p| {
-            p.floor != candidate.floor || p.distance(&candidate, 0.0) >= min_separation
-        });
+        let ok = positions
+            .iter()
+            .all(|p| p.floor != candidate.floor || p.distance(&candidate, 0.0) >= min_separation);
         if ok || attempts > 200 * n {
             positions.push(candidate);
         }
@@ -297,8 +300,8 @@ pub fn testbed_sized(n: usize, seed: u64) -> Topology {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (attempt.wrapping_mul(0x9E3779B97F4A7C15)));
         let positions = scatter_positions(n, 3, 56.0, 36.0, 6.0, &mut rng);
         let m = matrix_from_positions(&positions, &model, &mut rng);
-        let topo = Topology::from_matrix(format!("testbed{n}-s{seed}"), m)
-            .with_positions(positions);
+        let topo =
+            Topology::from_matrix(format!("testbed{n}-s{seed}"), m).with_positions(positions);
         if !topo.is_connected() {
             continue;
         }
@@ -328,8 +331,7 @@ pub fn random_mesh(n: usize, width: f64, depth: f64, seed: u64) -> Topology {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (attempt.wrapping_mul(0xD1B54A32D192ED03)));
         let positions = scatter_positions(n, 1, width, depth, 4.0, &mut rng);
         let m = matrix_from_positions(&positions, &model, &mut rng);
-        let topo =
-            Topology::from_matrix(format!("mesh{n}-s{seed}"), m).with_positions(positions);
+        let topo = Topology::from_matrix(format!("mesh{n}-s{seed}"), m).with_positions(positions);
         if topo.is_connected() {
             return topo;
         }

@@ -17,14 +17,12 @@
 
 pub mod estimator;
 pub mod generate;
+pub mod json;
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node in a topology. Dense, 0-based.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct NodeId(pub usize);
 
 impl fmt::Display for NodeId {
@@ -40,7 +38,7 @@ impl From<usize> for NodeId {
 }
 
 /// Physical position in meters; `floor` is the building storey.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct Position {
     pub x: f64,
     pub y: f64,
@@ -59,7 +57,7 @@ impl Position {
 }
 
 /// A directed wireless link with its delivery probability.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Link {
     pub from: NodeId,
     pub to: NodeId,
@@ -68,7 +66,7 @@ pub struct Link {
 }
 
 /// A lossy wireless mesh: `n` nodes and an `n × n` delivery matrix.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Topology {
     /// Human-readable label ("testbed", "line4", …).
     pub name: String,
@@ -219,14 +217,98 @@ impl Topology {
         (0..n).all(|i| (0..n).all(|j| i == j || self.hop_count(NodeId(i), NodeId(j)).is_some()))
     }
 
-    /// Serializes to pretty JSON.
+    /// Serializes to pretty JSON (hand-rolled; see [`json`]).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("topology serialization cannot fail")
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", json::escape(&self.name)));
+        out.push_str("  \"delivery\": [\n");
+        for (i, row) in self.delivery.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|p| format_f64(*p)).collect();
+            out.push_str(&format!("    [{}]", cells.join(", ")));
+            out.push_str(if i + 1 < self.delivery.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        match &self.positions {
+            None => out.push_str("  \"positions\": null\n"),
+            Some(pos) => {
+                out.push_str("  \"positions\": [\n");
+                for (i, p) in pos.iter().enumerate() {
+                    out.push_str(&format!(
+                        "    {{\"x\": {}, \"y\": {}, \"floor\": {}}}",
+                        format_f64(p.x),
+                        format_f64(p.y),
+                        p.floor
+                    ));
+                    out.push_str(if i + 1 < pos.len() { ",\n" } else { "\n" });
+                }
+                out.push_str("  ]\n");
+            }
+        }
+        out.push('}');
+        out
     }
 
-    /// Deserializes from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Deserializes from JSON produced by [`Topology::to_json`].
+    ///
+    /// Validates through [`Topology::from_matrix`], so malformed
+    /// probabilities are rejected rather than smuggled in.
+    pub fn from_json(s: &str) -> Result<Self, json::JsonError> {
+        let bad = |msg: &str| json::JsonError {
+            offset: 0,
+            message: msg.to_string(),
+        };
+        let v = json::parse(s)?;
+        let name = v
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| bad("missing \"name\""))?
+            .to_string();
+        let delivery: Vec<Vec<f64>> = v
+            .get("delivery")
+            .and_then(|d| d.as_arr())
+            .ok_or_else(|| bad("missing \"delivery\""))?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or_else(|| bad("delivery row is not an array"))?
+                    .iter()
+                    .map(|c| {
+                        c.as_f64()
+                            .ok_or_else(|| bad("delivery cell is not a number"))
+                    })
+                    .collect()
+            })
+            .collect::<Result<_, _>>()?;
+        let mut topo = Topology::from_matrix(name, delivery);
+        match v.get("positions") {
+            None | Some(json::Value::Null) => {}
+            Some(p) => {
+                let positions: Vec<Position> = p
+                    .as_arr()
+                    .ok_or_else(|| bad("\"positions\" is not an array"))?
+                    .iter()
+                    .map(|q| {
+                        let coord = |key: &str| {
+                            q.get(key)
+                                .and_then(|x| x.as_f64())
+                                .ok_or_else(|| bad("position missing coordinate"))
+                        };
+                        Ok(Position {
+                            x: coord("x")?,
+                            y: coord("y")?,
+                            floor: coord("floor")? as i32,
+                        })
+                    })
+                    .collect::<Result<_, json::JsonError>>()?;
+                topo = topo.with_positions(positions);
+            }
+        }
+        Ok(topo)
     }
 
     /// A coarse ASCII floor map (Fig 4-1 style); one grid per floor.
@@ -260,6 +342,17 @@ impl Topology {
             }
         }
         out
+    }
+}
+
+/// Formats an f64 with full round-trip precision but without the noise
+/// of `{:?}` for integral values (`1` rather than `1.0` is fine to parse).
+fn format_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.parse::<f64>() == Ok(v) {
+        s
+    } else {
+        format!("{v:?}")
     }
 }
 

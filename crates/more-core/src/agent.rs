@@ -63,16 +63,12 @@ impl MoreAgent {
         // Forwarder ordering metric: ETX in the shipped protocol, EOTX
         // for the §5.7 variant.
         let metric: Vec<f64> = match self.cfg.metric {
-            ForwarderMetric::Etx => {
-                EtxTable::compute(&self.topo, dst, LinkCost::Forward)
-                    .distances()
-                    .to_vec()
-            }
-            ForwarderMetric::Eotx => {
-                mesh_metrics::EotxTable::compute(&self.topo, dst)
-                    .distances()
-                    .to_vec()
-            }
+            ForwarderMetric::Etx => EtxTable::compute(&self.topo, dst, LinkCost::Forward)
+                .distances()
+                .to_vec(),
+            ForwarderMetric::Eotx => mesh_metrics::EotxTable::compute(&self.topo, dst)
+                .distances()
+                .to_vec(),
         };
         let plan = ForwarderPlan::compute(&self.topo, src, dst, &metric, &self.cfg.plan);
         let mut rank_of = vec![None; n];
@@ -175,7 +171,11 @@ impl MoreAgent {
 
     /// A forwarder's outgoing coded packet: random combination of what it
     /// holds (pre-coded when payloads are tracked).
-    pub(crate) fn emit_from(ns: &mut NodeFlowState, k: usize, rng: &mut impl Rng) -> Option<(CodeVector, Vec<u8>)> {
+    pub(crate) fn emit_from(
+        ns: &mut NodeFlowState,
+        k: usize,
+        rng: &mut impl Rng,
+    ) -> Option<(CodeVector, Vec<u8>)> {
         match &mut ns.batch {
             BatchState::Empty => None,
             BatchState::Tracker(t) => {
@@ -247,8 +247,7 @@ impl NodeAgent for MoreAgent {
                         // Full batch: ACK before decoding (§3.2.2).
                         if let BatchState::DstDecoder(d) = &ns.batch {
                             let natives = d.natives().expect("rank K reached");
-                            let expect =
-                                batch_natives(*flow, *batch, k_b, cfg.packet_bytes);
+                            let expect = batch_natives(*flow, *batch, k_b, cfg.packet_bytes);
                             assert_eq!(natives, expect, "decoded batch corrupt");
                         }
                         ns.pending_acks.push_back(*batch);
@@ -372,8 +371,7 @@ impl NodeAgent for MoreAgent {
                 let (vector, body) = if cfg.track_payloads {
                     if f.encoder.is_none() {
                         let natives = batch_natives(f.id, batch, k_b, cfg.packet_bytes);
-                        f.encoder =
-                            Some(SourceEncoder::new(natives).expect("valid batch"));
+                        f.encoder = Some(SourceEncoder::new(natives).expect("valid batch"));
                     }
                     let p = f.encoder.as_ref().expect("just built").encode(ctx.rng());
                     (p.vector, p.payload.to_vec())
@@ -409,8 +407,7 @@ impl NodeAgent for MoreAgent {
             if f.nodes[node.0].credit <= 0.0 {
                 continue;
             }
-            let Some((vector, body)) = Self::emit_from(&mut f.nodes[node.0], k_b, ctx.rng())
-            else {
+            let Some((vector, body)) = Self::emit_from(&mut f.nodes[node.0], k_b, ctx.rng()) else {
                 continue;
             };
             f.nodes[node.0].credit -= 1.0;
@@ -432,6 +429,21 @@ impl NodeAgent for MoreAgent {
             });
         }
         None
+    }
+}
+
+impl mesh_sim::FlowAgent for MoreAgent {
+    fn flows_done(&self) -> bool {
+        self.all_done()
+    }
+
+    fn flow_progress(&self, index: usize) -> mesh_sim::FlowProgressView {
+        let p = self.progress(index);
+        mesh_sim::FlowProgressView {
+            delivered: p.delivered_packets,
+            completed_at: p.completed_at,
+            done: p.done,
+        }
     }
 }
 

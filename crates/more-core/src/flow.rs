@@ -137,7 +137,7 @@ impl MoreFlow {
     pub fn k_of(&self, cfg: &MoreConfig, b: u32) -> usize {
         let nb = self.n_batches(cfg);
         debug_assert!(b < nb);
-        if b + 1 < nb || self.total_packets % cfg.k == 0 {
+        if b + 1 < nb || self.total_packets.is_multiple_of(cfg.k) {
             cfg.k
         } else {
             self.total_packets % cfg.k

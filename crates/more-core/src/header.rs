@@ -42,7 +42,11 @@ pub enum MorePayload {
     },
     /// A batch ACK travelling back to the source. `origin` is the
     /// destination that generated it (multicast flows have several).
-    Ack { flow: u32, batch: u32, origin: NodeId },
+    Ack {
+        flow: u32,
+        batch: u32,
+        origin: NodeId,
+    },
 }
 
 impl MorePayload {
@@ -102,7 +106,10 @@ impl Header {
 
     /// Size of [`Self::encode`]'s output.
     pub fn encoded_len(&self) -> usize {
-        1 + 4 + 4 + 4 + 4
+        1 + 4
+            + 4
+            + 4
+            + 4
             + 2
             + self.code_vector.as_ref().map_or(0, |v| v.len())
             + 1
@@ -247,7 +254,11 @@ mod test {
 
     #[test]
     fn payload_accessors() {
-        let p = MorePayload::Ack { flow: 4, batch: 9, origin: NodeId(3) };
+        let p = MorePayload::Ack {
+            flow: 4,
+            batch: 9,
+            origin: NodeId(3),
+        };
         assert_eq!(p.flow(), 4);
         assert_eq!(p.batch(), 9);
     }

@@ -83,7 +83,7 @@ impl McFlow {
 
     fn k_of(&self, cfg: &MoreConfig, b: u32) -> usize {
         let nb = self.n_batches(cfg);
-        if b + 1 < nb || self.total_packets % cfg.k == 0 {
+        if b + 1 < nb || self.total_packets.is_multiple_of(cfg.k) {
             cfg.k
         } else {
             self.total_packets % cfg.k
@@ -263,12 +263,13 @@ impl NodeAgent for MulticastMoreAgent {
                 if !is_any_dst {
                     // Credit if the sender is upstream for ANY destination
                     // this node forwards toward.
-                    let upstream_for_some = f.dsts.iter().any(|d| {
-                        match (d.rank_of[node.0], d.rank_of[from.0]) {
-                            (Some(mine), Some(theirs)) => theirs > mine,
-                            _ => false,
-                        }
-                    });
+                    let upstream_for_some =
+                        f.dsts
+                            .iter()
+                            .any(|d| match (d.rank_of[node.0], d.rank_of[from.0]) {
+                                (Some(mine), Some(theirs)) => theirs > mine,
+                                _ => false,
+                            });
                     let ns = &mut f.nodes[node.0];
                     if *batch < ns.current_batch {
                         return;
@@ -287,7 +288,11 @@ impl NodeAgent for MulticastMoreAgent {
                     }
                 }
             }
-            MorePayload::Ack { flow, batch, origin } => {
+            MorePayload::Ack {
+                flow,
+                batch,
+                origin,
+            } => {
                 let Some(fi) = self.flows.iter().position(|f| f.id == *flow) else {
                     return;
                 };
@@ -454,17 +459,37 @@ impl NodeAgent for MulticastMoreAgent {
     }
 }
 
+impl mesh_sim::FlowAgent for MulticastMoreAgent {
+    fn flows_done(&self) -> bool {
+        self.all_done()
+    }
+
+    /// Multicast progress collapsed to the common view: `delivered` sums
+    /// over destinations; `completed_at` is when the *last* destination
+    /// finished (per-destination detail stays on
+    /// [`MulticastMoreAgent::progress`]).
+    fn flow_progress(&self, index: usize) -> mesh_sim::FlowProgressView {
+        let p = self.progress(index);
+        let completed_at = if p.completed_at.iter().all(|t| t.is_some()) {
+            p.completed_at.iter().filter_map(|t| *t).max()
+        } else {
+            None
+        };
+        mesh_sim::FlowProgressView {
+            delivered: p.delivered.iter().sum(),
+            completed_at,
+            done: p.done,
+        }
+    }
+}
+
 #[cfg(test)]
 mod test {
     use super::*;
     use mesh_sim::{SimConfig, Simulator, SEC};
     use mesh_topology::generate;
 
-    fn run(
-        dsts: Vec<NodeId>,
-        packets: usize,
-        seed: u64,
-    ) -> (Simulator<MulticastMoreAgent>, usize) {
+    fn run(dsts: Vec<NodeId>, packets: usize, seed: u64) -> (Simulator<MulticastMoreAgent>, usize) {
         let topo = generate::testbed(1);
         let mut agent = MulticastMoreAgent::new(topo.clone(), MoreConfig::default());
         let fi = agent.add_flow(1, NodeId(0), dsts, packets);
@@ -501,8 +526,7 @@ mod test {
         let topo = generate::testbed(1);
         let mut uni_tx = 0;
         for (i, d) in [NodeId(19), NodeId(12), NodeId(7)].iter().enumerate() {
-            let mut agent =
-                crate::agent::MoreAgent::new(topo.clone(), MoreConfig::default());
+            let mut agent = crate::agent::MoreAgent::new(topo.clone(), MoreConfig::default());
             let ufi = agent.add_flow(1, NodeId(0), *d, 64);
             let mut sim = Simulator::new(topo.clone(), SimConfig::default(), agent, 4 + i as u64);
             sim.kick(NodeId(0));

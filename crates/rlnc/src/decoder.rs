@@ -177,7 +177,12 @@ impl Decoder {
         Ok(self
             .rows
             .iter()
-            .map(|r| r.as_ref().expect("complete decoder has all rows").payload.clone())
+            .map(|r| {
+                r.as_ref()
+                    .expect("complete decoder has all rows")
+                    .payload
+                    .clone()
+            })
             .collect())
     }
 

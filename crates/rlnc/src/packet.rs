@@ -258,6 +258,7 @@ mod test {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // i is both unit index and native index
     fn encode_with_unit_vector_reproduces_native() {
         let natives = vec![vec![1u8, 2, 3], vec![4u8, 5, 6]];
         let enc = SourceEncoder::new(natives.clone()).unwrap();

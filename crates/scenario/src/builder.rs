@@ -1,0 +1,424 @@
+//! The fluent [`ScenarioBuilder`] and the parallel scenario engine.
+//!
+//! A scenario is the cross product
+//!
+//! ```text
+//! protocols × sweep points × seeds × flow sets
+//! ```
+//!
+//! over one declared topology and traffic shape. Each coordinate is one
+//! deterministic simulator run producing one [`RunRecord`]; the grid is
+//! executed on a worker pool ([`crate::exec::par_map`]) because runs are
+//! independent by construction.
+
+use crate::exec;
+use crate::record::{time_to_s, FlowRecord, RunRecord};
+use crate::registry::{BuildError, ProtocolRegistry};
+use crate::spec::{scale_loss, ExpConfig, FlowSpec, Sweep, TopologySpec, TrafficSpec};
+use mesh_sim::{Bitrate, ErasedFlowAgent, SimConfig, Simulator, SEC};
+use mesh_topology::{NodeId, Topology};
+
+/// Entry point: `Scenario::named("fig4_2")` starts a builder.
+pub struct Scenario;
+
+impl Scenario {
+    pub fn named(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder::new(name)
+    }
+}
+
+/// Fluent scenario construction; see the crate docs for a worked
+/// example. Finish with [`ScenarioBuilder::run`] (or
+/// [`ScenarioBuilder::try_run`] to surface configuration errors as
+/// values).
+#[derive(Debug)]
+pub struct ScenarioBuilder {
+    name: String,
+    topology: TopologySpec,
+    traffic: TrafficSpec,
+    protocols: Vec<String>,
+    sweep: Option<Sweep>,
+    seeds: Vec<u64>,
+    base: ExpConfig,
+    sim: SimConfig,
+    threads: Option<usize>,
+    registry: ProtocolRegistry,
+}
+
+impl ScenarioBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioBuilder {
+            name: name.into(),
+            topology: TopologySpec::Testbed { seed: 1 },
+            traffic: TrafficSpec::SinglePair {
+                src: NodeId(0),
+                dst: NodeId(19),
+            },
+            protocols: Vec::new(),
+            sweep: None,
+            seeds: vec![ExpConfig::default().seed],
+            base: ExpConfig::default(),
+            sim: SimConfig::default(),
+            threads: None,
+            registry: ProtocolRegistry::with_defaults(),
+        }
+    }
+
+    /// Sets the topology family.
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.topology = spec;
+        self
+    }
+
+    /// Shorthand for the paper's 20-node testbed.
+    pub fn testbed(self, seed: u64) -> Self {
+        self.topology(TopologySpec::Testbed { seed })
+    }
+
+    /// Sets the traffic shape.
+    pub fn traffic(mut self, spec: TrafficSpec) -> Self {
+        self.traffic = spec;
+        self
+    }
+
+    /// Shorthand for one unicast pair.
+    pub fn pair(self, src: NodeId, dst: NodeId) -> Self {
+        self.traffic(TrafficSpec::SinglePair { src, dst })
+    }
+
+    /// Adds a protocol by registry name.
+    pub fn protocol(mut self, name: impl Into<String>) -> Self {
+        self.protocols.push(name.into());
+        self
+    }
+
+    /// Adds several protocols in order.
+    pub fn protocols<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.protocols.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Registers a custom factory into this scenario's registry *and*
+    /// selects it, so external protocols are one call away.
+    pub fn register(mut self, factory: impl crate::registry::ProtocolFactory + 'static) -> Self {
+        let name = factory.name().to_string();
+        self.registry.register(factory);
+        // Overriding an already-selected name must not run it twice.
+        if !self.protocols.iter().any(|p| p.eq_ignore_ascii_case(&name)) {
+            self.protocols.push(name);
+        }
+        self
+    }
+
+    /// Replaces the whole registry (defaults: the paper's four).
+    pub fn registry(mut self, registry: ProtocolRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Sweeps a parameter grid.
+    pub fn sweep(mut self, sweep: Sweep) -> Self {
+        self.sweep = Some(sweep);
+        self
+    }
+
+    /// Run seeds; the grid runs every seed (default: just seed 1).
+    pub fn seeds<I: IntoIterator<Item = u64>>(mut self, seeds: I) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Packets per transfer.
+    pub fn packets(mut self, packets: usize) -> Self {
+        self.base.packets = packets;
+        self
+    }
+
+    /// Batch size K.
+    pub fn k(mut self, k: usize) -> Self {
+        self.base.k = k;
+        self
+    }
+
+    /// Fixed data bit-rate.
+    pub fn bitrate(mut self, bitrate: Bitrate) -> Self {
+        self.base.bitrate = bitrate;
+        self
+    }
+
+    /// Per-run simulated-time budget, seconds.
+    pub fn deadline(mut self, seconds: u64) -> Self {
+        self.base.deadline_s = seconds;
+        self
+    }
+
+    /// Overrides the full experiment parameter block.
+    pub fn exp_config(mut self, cfg: ExpConfig) -> Self {
+        self.base = cfg;
+        self
+    }
+
+    /// Overrides MAC/PHY parameters.
+    pub fn sim_config(mut self, cfg: SimConfig) -> Self {
+        self.sim = cfg;
+        self
+    }
+
+    /// Worker threads (default: machine parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Executes the grid, panicking on configuration errors (unknown
+    /// protocol, unsupported traffic). Records arrive sorted by
+    /// (protocol, sweep point, seed, traffic index).
+    pub fn run(self) -> Vec<RunRecord> {
+        match self.try_run() {
+            Ok(records) => records,
+            Err(e) => panic!("scenario failed: {e}"),
+        }
+    }
+
+    /// Executes the grid, surfacing configuration errors.
+    pub fn try_run(self) -> Result<Vec<RunRecord>, BuildError> {
+        let protocols = if self.protocols.is_empty() {
+            // No explicit selection: run everything registered.
+            self.registry
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        } else {
+            self.protocols.clone()
+        };
+        // Resolve every factory up front so typos fail before any work.
+        let factories: Vec<_> = protocols
+            .iter()
+            .map(|name| self.registry.resolve(name))
+            .collect::<Result<_, _>>()?;
+
+        let sweep_points: Vec<Option<usize>> = match &self.sweep {
+            None => vec![None],
+            Some(s) => (0..s.len()).map(Some).collect(),
+        };
+
+        // Work grid: protocol × sweep × seed (flow sets expand inside the
+        // worker because RandomConcurrent traffic depends on the seed).
+        let mut grid = Vec::new();
+        for (pi, _) in factories.iter().enumerate() {
+            for &sp in &sweep_points {
+                for &seed in &self.seeds {
+                    grid.push((pi, sp, seed));
+                }
+            }
+        }
+
+        let threads = self.threads.unwrap_or_else(exec::default_threads);
+        let this = &self;
+        let factories = &factories;
+        let results: Vec<Result<Vec<RunRecord>, BuildError>> =
+            exec::par_map(grid, threads, |&(pi, sp, seed)| {
+                this.run_cell(&protocols[pi], factories[pi].as_ref(), sp, seed)
+            });
+        let mut records = Vec::new();
+        for cell in results {
+            records.extend(cell?);
+        }
+        Ok(records)
+    }
+
+    /// Runs every flow set of one (protocol, sweep point, seed) cell.
+    fn run_cell(
+        &self,
+        proto_name: &str,
+        factory: &dyn crate::registry::ProtocolFactory,
+        sweep_point: Option<usize>,
+        seed: u64,
+    ) -> Result<Vec<RunRecord>, BuildError> {
+        // Apply the sweep point to the parameter block and topology.
+        let mut cfg = ExpConfig { seed, ..self.base };
+        let mut sim_cfg = self.sim;
+        let mut topo = self.topology.instantiate(seed);
+        let mut traffic = self.traffic.clone();
+        let (param, value) = match (&self.sweep, sweep_point) {
+            (Some(sweep), Some(i)) => {
+                match sweep {
+                    Sweep::Packets(v) => cfg.packets = v[i],
+                    Sweep::K(v) => cfg.k = v[i],
+                    Sweep::Bitrate(v) => cfg.bitrate = v[i],
+                    Sweep::LossScale(v) => topo = scale_loss(&topo, v[i]),
+                    Sweep::Flows(v) => {
+                        traffic = match traffic {
+                            TrafficSpec::RandomConcurrent {
+                                seed_offset,
+                                distinct_sources,
+                                ..
+                            } => TrafficSpec::RandomConcurrent {
+                                n_flows: v[i],
+                                seed_offset,
+                                distinct_sources,
+                            },
+                            other => {
+                                return Err(BuildError::Unsupported(format!(
+                                    "Sweep::Flows requires TrafficSpec::RandomConcurrent, got {other:?}"
+                                )))
+                            }
+                        };
+                    }
+                }
+                (Some(sweep.label()), Some(sweep.value(i)))
+            }
+            _ => (None, None),
+        };
+        sim_cfg.bitrate = cfg.bitrate;
+
+        let flow_sets = traffic.flow_sets(&topo, seed, cfg.packets);
+        let mut records = Vec::with_capacity(flow_sets.len());
+        for (ti, flows) in flow_sets.into_iter().enumerate() {
+            let agent = factory.build(&topo, &flows, &cfg)?;
+            let record = run_one(
+                &self.name, proto_name, &topo, &flows, &cfg, &sim_cfg, agent, param, value, ti,
+            );
+            records.push(record);
+        }
+        Ok(records)
+    }
+}
+
+/// Runs one flow set to completion (or deadline) and measures it.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::borrowed_box)] // run_until's stop callback receives &A = &Box<dyn _>
+fn run_one(
+    scenario: &str,
+    protocol: &str,
+    topo: &Topology,
+    flows: &[FlowSpec],
+    cfg: &ExpConfig,
+    sim_cfg: &SimConfig,
+    agent: Box<dyn ErasedFlowAgent>,
+    param: Option<&'static str>,
+    value: Option<f64>,
+    traffic_index: usize,
+) -> RunRecord {
+    let deadline = cfg.deadline_s * SEC;
+    let mut sim = Simulator::new(topo.clone(), *sim_cfg, agent, cfg.seed);
+    for f in flows {
+        sim.kick(f.src);
+    }
+    sim.run_until(deadline, |a: &Box<dyn ErasedFlowAgent>| a.flows_done());
+
+    let concurrency = {
+        let total = sim.stats.total_airtime();
+        if total == 0 {
+            0.0
+        } else {
+            sim.stats.concurrent_airtime as f64 / total as f64
+        }
+    };
+    let flow_records = flows
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let p = sim.agent.flow_progress(i);
+            let (throughput_pps, completed) = match p.completed_at {
+                Some(t) if t > 0 => (p.delivered as f64 / time_to_s(t), true),
+                _ => (p.delivered as f64 / time_to_s(deadline), false),
+            };
+            FlowRecord {
+                src: f.src,
+                dsts: f.dsts.clone(),
+                delivered: p.delivered,
+                throughput_pps,
+                completed,
+                completed_at_s: p.completed_at.map(time_to_s),
+            }
+        })
+        .collect();
+    RunRecord {
+        scenario: scenario.to_string(),
+        protocol: protocol.to_string(),
+        topology: topo.name.clone(),
+        param,
+        value,
+        seed: cfg.seed,
+        traffic_index,
+        flows: flow_records,
+        total_tx: sim.stats.total_tx(),
+        concurrency,
+        sim_time_s: time_to_s(sim.now()),
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    #[test]
+    fn unknown_protocol_fails_before_running() {
+        let err = Scenario::named("bad")
+            .protocol("NotARealProtocol")
+            .try_run()
+            .expect_err("must fail");
+        assert!(matches!(err, BuildError::UnknownProtocol(_)));
+    }
+
+    #[test]
+    fn flows_sweep_without_random_concurrent_is_an_error_not_a_panic() {
+        let err = Scenario::named("bad-sweep")
+            .pair(NodeId(0), NodeId(19))
+            .protocol("MORE")
+            .sweep(Sweep::Flows(vec![1, 2]))
+            .packets(8)
+            .try_run()
+            .expect_err("mismatched sweep/traffic must surface as a value");
+        assert!(matches!(err, BuildError::Unsupported(_)));
+    }
+
+    #[test]
+    fn registering_over_a_selected_name_does_not_duplicate_runs() {
+        use crate::protocols::MoreFactory;
+        let records = Scenario::named("override")
+            .topology(TopologySpec::Line {
+                hops: 2,
+                p_adj: 0.9,
+                skip_decay: 0.3,
+                spacing: 25.0,
+            })
+            .pair(NodeId(0), NodeId(2))
+            .protocols(["MORE", "Srcr"])
+            .register(MoreFactory::named("MORE", more_core::MoreConfig::default()))
+            .packets(8)
+            .deadline(60)
+            .run();
+        assert_eq!(records.len(), 2, "override must not double-run MORE");
+    }
+
+    #[test]
+    fn grid_shape_is_protocols_by_sweep_by_seeds() {
+        let records = Scenario::named("grid")
+            .topology(TopologySpec::Line {
+                hops: 2,
+                p_adj: 0.9,
+                skip_decay: 0.3,
+                spacing: 25.0,
+            })
+            .pair(NodeId(0), NodeId(2))
+            .protocols(["MORE", "Srcr"])
+            .sweep(Sweep::K(vec![8, 16]))
+            .seeds(1..=3)
+            .packets(16)
+            .deadline(60)
+            .run();
+        assert_eq!(records.len(), 2 * 2 * 3);
+        // Each record carries its sweep coordinate.
+        assert!(records.iter().all(|r| r.param == Some("k")));
+        assert!(records
+            .iter()
+            .any(|r| r.protocol == "Srcr" && r.value == Some(16.0) && r.seed == 2));
+    }
+}

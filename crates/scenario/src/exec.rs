@@ -1,0 +1,77 @@
+//! Work-stealing-free parallel map on scoped std threads.
+//!
+//! Replaces the seed's `crossbeam::scope` + `parking_lot::Mutex`
+//! implementation (neither dependency is available offline, and
+//! `std::thread::scope` has covered this use since Rust 1.63). Workers
+//! pull indices from a shared atomic counter, so uneven per-item costs —
+//! a dead-spot Srcr run takes its full deadline while a one-hop MORE run
+//! finishes in milliseconds — balance automatically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on `threads` workers, preserving input order.
+///
+/// Panics in `f` propagate (the scope re-raises worker panics).
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    {
+        // Inner scope: `slots` must release its borrow of `results`
+        // before the collect below takes ownership.
+        let slots = Mutex::new(&mut results);
+        let (items_ref, f_ref, slots_ref, next_ref) = (&items, &f, &slots, &next);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move || loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f_ref(&items_ref[i]);
+                    slots_ref.lock().expect("no poisoned workers")[i] = Some(r);
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+/// Default worker count: the machine's parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_visits_all() {
+        let out = par_map((0..500).collect(), 8, |&x: &i32| x * 3);
+        assert_eq!(out, (0..500).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_empty() {
+        let out = par_map(vec![1, 2, 3], 1, |&x: &i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<i32> = par_map(Vec::<i32>::new(), 4, |&x| x);
+        assert!(empty.is_empty());
+    }
+}

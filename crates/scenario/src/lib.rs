@@ -1,0 +1,50 @@
+//! Composable scenario builder and pluggable protocol registry for the
+//! MORE reproduction.
+//!
+//! The paper's evaluation is a *comparison* — MORE vs ExOR vs Srcr over
+//! identical topologies, traffic, and seeds. This crate makes that
+//! comparison (and every workload beyond it) declarative:
+//!
+//! ```
+//! use more_scenario::{Scenario, Sweep, TrafficSpec};
+//!
+//! let records = Scenario::named("demo")
+//!     .testbed(1)
+//!     .traffic(TrafficSpec::RandomPairs { count: 4, seed: 7 })
+//!     .protocols(["Srcr", "ExOR", "MORE"])
+//!     .packets(64)
+//!     .deadline(120)
+//!     .run();
+//! assert_eq!(records.len(), 3 * 4); // 3 protocols × 4 pairs
+//! let json = more_scenario::record::to_json(&records);
+//! assert!(json.contains("\"protocol\": \"MORE\""));
+//! ```
+//!
+//! Key pieces:
+//!
+//! * [`Scenario`] / [`ScenarioBuilder`] — fluent declaration of
+//!   topology, traffic, protocols, parameter sweeps, seeds, and
+//!   deadlines; [`ScenarioBuilder::run`] executes the whole grid on a
+//!   worker pool and returns structured [`RunRecord`]s (JSON/CSV
+//!   serializable via [`record`]).
+//! * [`ProtocolFactory`] / [`ProtocolRegistry`] — protocols are
+//!   pluggable objects, not enum arms. [`ProtocolRegistry::with_defaults`]
+//!   ships MORE, ExOR, Srcr, and Srcr-autorate; anything implementing
+//!   [`ProtocolFactory`] (over any [`mesh_sim::FlowAgent`]) registers
+//!   alongside them — from outside this crate — and runs in the same
+//!   scenarios on the same seeds.
+//! * [`exec::par_map`] — the scoped-thread parallel map underneath
+//!   every sweep.
+
+pub mod builder;
+pub mod exec;
+pub mod protocols;
+pub mod record;
+pub mod registry;
+pub mod spec;
+
+pub use builder::{Scenario, ScenarioBuilder};
+pub use protocols::{ExorFactory, MoreFactory, SrcrFactory};
+pub use record::{FlowRecord, RunRecord};
+pub use registry::{BuildError, ProtocolFactory, ProtocolRegistry};
+pub use spec::{random_pairs, scale_loss, ExpConfig, FlowSpec, Sweep, TopologySpec, TrafficSpec};

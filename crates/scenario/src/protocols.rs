@@ -1,0 +1,214 @@
+//! Built-in [`ProtocolFactory`] implementations for the paper's four
+//! protocols. Each factory is a thin, configurable constructor; variants
+//! (e.g. the EOTX-ordered MORE ablation) are new factories under new
+//! names, not new enum arms.
+
+use crate::registry::{BuildError, ProtocolFactory};
+use crate::spec::{ExpConfig, FlowSpec};
+use baselines::{ExorAgent, ExorConfig, SrcrAgent, SrcrConfig};
+use mesh_sim::{Erased, ErasedFlowAgent};
+use mesh_topology::Topology;
+use more_core::{MoreAgent, MoreConfig, MulticastMoreAgent};
+
+/// MORE (and, transparently, MORE multicast when a flow has several
+/// destinations — coded broadcast is destination-count agnostic).
+pub struct MoreFactory {
+    /// Base protocol config; `k` is overridden by [`ExpConfig::k`] at
+    /// build time so K-sweeps work uniformly across factories.
+    pub cfg: MoreConfig,
+    name: String,
+}
+
+impl Default for MoreFactory {
+    fn default() -> Self {
+        MoreFactory {
+            cfg: MoreConfig::default(),
+            name: "MORE".to_string(),
+        }
+    }
+}
+
+impl MoreFactory {
+    /// A MORE variant under a distinct registry name (e.g. an ablation
+    /// with a different forwarder metric).
+    pub fn named(name: impl Into<String>, cfg: MoreConfig) -> Self {
+        MoreFactory {
+            cfg,
+            name: name.into(),
+        }
+    }
+}
+
+impl ProtocolFactory for MoreFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(
+        &self,
+        topo: &Topology,
+        flows: &[FlowSpec],
+        cfg: &ExpConfig,
+    ) -> Result<Box<dyn ErasedFlowAgent>, BuildError> {
+        let mcfg = MoreConfig {
+            k: cfg.k,
+            ..self.cfg
+        };
+        if flows.iter().any(FlowSpec::is_multicast) {
+            let mut agent = MulticastMoreAgent::new(topo.clone(), mcfg);
+            for (i, f) in flows.iter().enumerate() {
+                agent.add_flow(i as u32 + 1, f.src, f.dsts.clone(), f.packets);
+            }
+            Ok(Box::new(Erased(agent)))
+        } else {
+            let mut agent = MoreAgent::new(topo.clone(), mcfg);
+            for (i, f) in flows.iter().enumerate() {
+                agent.add_flow(i as u32 + 1, f.src, f.dst(), f.packets);
+            }
+            Ok(Box::new(Erased(agent)))
+        }
+    }
+}
+
+/// ExOR with its strict batch scheduler.
+pub struct ExorFactory {
+    pub cfg: ExorConfig,
+    name: String,
+}
+
+impl Default for ExorFactory {
+    fn default() -> Self {
+        ExorFactory {
+            cfg: ExorConfig::default(),
+            name: "ExOR".to_string(),
+        }
+    }
+}
+
+impl ExorFactory {
+    pub fn named(name: impl Into<String>, cfg: ExorConfig) -> Self {
+        ExorFactory {
+            cfg,
+            name: name.into(),
+        }
+    }
+}
+
+impl ProtocolFactory for ExorFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(
+        &self,
+        topo: &Topology,
+        flows: &[FlowSpec],
+        cfg: &ExpConfig,
+    ) -> Result<Box<dyn ErasedFlowAgent>, BuildError> {
+        if let Some(mc) = flows.iter().find(|f| f.is_multicast()) {
+            return Err(BuildError::Unsupported(format!(
+                "ExOR's scheduler is strictly unicast; flow {} -> {:?} has {} destinations",
+                mc.src,
+                mc.dsts,
+                mc.dsts.len()
+            )));
+        }
+        let ecfg = ExorConfig {
+            k: cfg.k,
+            ..self.cfg
+        };
+        let mut agent = ExorAgent::new(topo.clone(), ecfg);
+        for (i, f) in flows.iter().enumerate() {
+            let fi = agent.add_flow(i as u32 + 1, f.src, f.dst(), f.packets);
+            agent.start(fi);
+        }
+        Ok(Box::new(Erased(agent)))
+    }
+}
+
+/// Srcr (best-path source routing), fixed-rate or with Onoe autorate.
+pub struct SrcrFactory {
+    pub cfg: SrcrConfig,
+    name: String,
+}
+
+impl SrcrFactory {
+    /// Srcr at the experiment's fixed bit-rate.
+    pub fn fixed_rate() -> Self {
+        SrcrFactory {
+            cfg: SrcrConfig::default(),
+            name: "Srcr".to_string(),
+        }
+    }
+
+    /// Srcr with MadWifi-style Onoe autorate (Fig 4-6).
+    pub fn autorate() -> Self {
+        SrcrFactory {
+            cfg: SrcrConfig {
+                autorate: true,
+                ..SrcrConfig::default()
+            },
+            name: "Srcr-autorate".to_string(),
+        }
+    }
+
+    pub fn named(name: impl Into<String>, cfg: SrcrConfig) -> Self {
+        SrcrFactory {
+            cfg,
+            name: name.into(),
+        }
+    }
+}
+
+impl ProtocolFactory for SrcrFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(
+        &self,
+        topo: &Topology,
+        flows: &[FlowSpec],
+        cfg: &ExpConfig,
+    ) -> Result<Box<dyn ErasedFlowAgent>, BuildError> {
+        if let Some(mc) = flows.iter().find(|f| f.is_multicast()) {
+            return Err(BuildError::Unsupported(format!(
+                "Srcr routes along a single best path; flow {} -> {:?} has {} destinations",
+                mc.src,
+                mc.dsts,
+                mc.dsts.len()
+            )));
+        }
+        let mut agent = SrcrAgent::new(topo.clone(), self.cfg, cfg.bitrate);
+        for (i, f) in flows.iter().enumerate() {
+            agent.add_flow(i as u32 + 1, f.src, f.dst(), f.packets);
+        }
+        Ok(Box::new(Erased(agent)))
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+    use mesh_topology::{generate, NodeId};
+
+    #[test]
+    fn multicast_routes_to_the_multicast_agent_for_more_only() {
+        let topo = generate::testbed(1);
+        let flows = vec![FlowSpec {
+            src: NodeId(0),
+            dsts: vec![NodeId(5), NodeId(9)],
+            packets: 32,
+        }];
+        let cfg = ExpConfig::default();
+        assert!(MoreFactory::default().build(&topo, &flows, &cfg).is_ok());
+        assert!(matches!(
+            ExorFactory::default().build(&topo, &flows, &cfg),
+            Err(BuildError::Unsupported(_))
+        ));
+        assert!(matches!(
+            SrcrFactory::fixed_rate().build(&topo, &flows, &cfg),
+            Err(BuildError::Unsupported(_))
+        ));
+    }
+}

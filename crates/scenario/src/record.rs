@@ -1,0 +1,283 @@
+//! Structured run results with hand-rolled JSON and CSV writers.
+
+use mesh_sim::SEC;
+use mesh_topology::NodeId;
+
+/// One flow's outcome within a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowRecord {
+    pub src: NodeId,
+    /// First (or only) destination; multicast flows list all in `dsts`.
+    pub dsts: Vec<NodeId>,
+    /// Packets delivered end-to-end.
+    pub delivered: usize,
+    /// Delivered packets / elapsed seconds (deadline-limited runs use
+    /// the deadline as the denominator — the Figs 4-2…4-7 convention).
+    pub throughput_pps: f64,
+    /// The transfer finished before the deadline.
+    pub completed: bool,
+    /// Completion time in simulated seconds, when completed.
+    pub completed_at_s: Option<f64>,
+}
+
+/// One simulator run: a (scenario, protocol, sweep point, seed,
+/// flow set) coordinate and everything measured there.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Scenario name (the builder's `named`).
+    pub scenario: String,
+    /// Protocol registry name.
+    pub protocol: String,
+    /// Topology the run used.
+    pub topology: String,
+    /// Sweep parameter name, when the scenario sweeps one.
+    pub param: Option<&'static str>,
+    /// Sweep parameter value at this point.
+    pub value: Option<f64>,
+    /// Run seed.
+    pub seed: u64,
+    /// Index of the flow set within the traffic expansion (e.g. which
+    /// random pair).
+    pub traffic_index: usize,
+    /// Per-flow outcomes, in flow order.
+    pub flows: Vec<FlowRecord>,
+    /// Whole-run data-frame transmissions.
+    pub total_tx: u64,
+    /// Fraction of airtime with ≥ 2 concurrent transmissions.
+    pub concurrency: f64,
+    /// Simulated time at exit, seconds.
+    pub sim_time_s: f64,
+}
+
+impl RunRecord {
+    /// Throughputs of all flows in the run.
+    pub fn throughputs(&self) -> impl Iterator<Item = f64> + '_ {
+        self.flows.iter().map(|f| f.throughput_pps)
+    }
+
+    /// Mean per-flow throughput of the run.
+    pub fn mean_throughput(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        self.throughputs().sum::<f64>() / self.flows.len() as f64
+    }
+
+    /// All flows completed before the deadline.
+    pub fn all_completed(&self) -> bool {
+        self.flows.iter().all(|f| f.completed)
+    }
+
+    fn to_json_obj(&self) -> String {
+        let flows: Vec<String> = self
+            .flows
+            .iter()
+            .map(|f| {
+                let dsts: Vec<String> = f.dsts.iter().map(|d| d.0.to_string()).collect();
+                format!(
+                    "{{\"src\": {}, \"dsts\": [{}], \"delivered\": {}, \
+                     \"throughput_pps\": {}, \"completed\": {}, \"completed_at_s\": {}}}",
+                    f.src.0,
+                    dsts.join(", "),
+                    f.delivered,
+                    fmt_f64(f.throughput_pps),
+                    f.completed,
+                    f.completed_at_s
+                        .map(fmt_f64)
+                        .unwrap_or_else(|| "null".to_string()),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"scenario\": {}, \"protocol\": {}, \"topology\": {}, \
+             \"param\": {}, \"value\": {}, \"seed\": {}, \"traffic_index\": {}, \
+             \"total_tx\": {}, \"concurrency\": {}, \"sim_time_s\": {}, \"flows\": [{}]}}",
+            esc(&self.scenario),
+            esc(&self.protocol),
+            esc(&self.topology),
+            self.param
+                .map(|p| format!("\"{p}\""))
+                .unwrap_or_else(|| "null".to_string()),
+            self.value
+                .map(fmt_f64)
+                .unwrap_or_else(|| "null".to_string()),
+            self.seed,
+            self.traffic_index,
+            self.total_tx,
+            fmt_f64(self.concurrency),
+            fmt_f64(self.sim_time_s),
+            flows.join(", "),
+        )
+    }
+
+    /// The CSV header matching [`RunRecord::to_csv_rows`]. One CSV row
+    /// per flow (runs with several flows emit several rows).
+    pub const CSV_HEADER: &'static str = "scenario,protocol,topology,param,value,seed,\
+         traffic_index,flow_index,src,dst,delivered,throughput_pps,completed,\
+         completed_at_s,total_tx,concurrency,sim_time_s";
+
+    pub fn to_csv_rows(&self) -> Vec<String> {
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    csv_field(&self.scenario),
+                    csv_field(&self.protocol),
+                    csv_field(&self.topology),
+                    self.param.unwrap_or(""),
+                    self.value.map(fmt_f64).unwrap_or_default(),
+                    self.seed,
+                    self.traffic_index,
+                    i,
+                    f.src.0,
+                    f.dsts
+                        .iter()
+                        .map(|d| d.0.to_string())
+                        .collect::<Vec<_>>()
+                        .join("|"),
+                    f.delivered,
+                    fmt_f64(f.throughput_pps),
+                    f.completed,
+                    f.completed_at_s.map(fmt_f64).unwrap_or_default(),
+                    self.total_tx,
+                    fmt_f64(self.concurrency),
+                    fmt_f64(self.sim_time_s),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Serializes a record set to a JSON array.
+pub fn to_json(records: &[RunRecord]) -> String {
+    let objs: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.to_json_obj()))
+        .collect();
+    format!("[\n{}\n]\n", objs.join(",\n"))
+}
+
+/// Serializes a record set to CSV (header + one row per flow).
+pub fn to_csv(records: &[RunRecord]) -> String {
+    let mut out = String::from(RunRecord::CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        for row in r.to_csv_rows() {
+            out.push_str(&row);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes records as JSON to `path` (creating parent directories).
+pub fn write_json(path: &str, records: &[RunRecord]) -> std::io::Result<()> {
+    write_with(path, to_json(records))
+}
+
+/// Writes records as CSV to `path` (creating parent directories).
+pub fn write_csv(path: &str, records: &[RunRecord]) -> std::io::Result<()> {
+    write_with(path, to_csv(records))
+}
+
+fn write_with(path: &str, contents: String) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
+/// Converts a completion time to seconds.
+pub fn time_to_s(t: mesh_sim::Time) -> f64 {
+    t as f64 / SEC as f64
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn esc(s: &str) -> String {
+    format!("\"{}\"", mesh_topology::json::escape(s))
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        RunRecord {
+            scenario: "test".into(),
+            protocol: "MORE".into(),
+            topology: "testbed".into(),
+            param: Some("k"),
+            value: Some(32.0),
+            seed: 1,
+            traffic_index: 0,
+            flows: vec![FlowRecord {
+                src: NodeId(0),
+                dsts: vec![NodeId(19)],
+                delivered: 384,
+                throughput_pps: 151.25,
+                completed: true,
+                completed_at_s: Some(2.54),
+            }],
+            total_tx: 900,
+            concurrency: 0.12,
+            sim_time_s: 2.54,
+        }
+    }
+
+    #[test]
+    fn json_is_parseable() {
+        let json = to_json(&[sample(), sample()]);
+        let v = mesh_topology::json::parse(&json).expect("valid JSON");
+        let arr = v.as_arr().expect("array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("protocol").unwrap().as_str(), Some("MORE"));
+        assert_eq!(
+            arr[0].get("flows").unwrap().as_arr().unwrap()[0]
+                .get("delivered")
+                .unwrap()
+                .as_f64(),
+            Some(384.0)
+        );
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let mut r = sample();
+        r.scenario = "line1\nline2\ttabbed".into();
+        let json = to_json(&[r]);
+        let v = mesh_topology::json::parse(&json).expect("control chars must be escaped");
+        assert_eq!(
+            v.as_arr().unwrap()[0].get("scenario").unwrap().as_str(),
+            Some("line1\nline2\ttabbed")
+        );
+    }
+
+    #[test]
+    fn csv_rows_match_header_arity() {
+        let csv = to_csv(&[sample()]);
+        let mut lines = csv.lines();
+        let header_cols = lines.next().unwrap().split(',').count();
+        for line in lines {
+            assert_eq!(line.split(',').count(), header_cols, "line {line:?}");
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Declarative scenario ingredients: topology, traffic, parameters, and
+//! sweeps.
+
+use mesh_sim::Bitrate;
+use mesh_topology::{generate, NodeId, Topology};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Shared experiment parameters (§4.1.2 defaults). The same struct the
+/// pre-scenario harness used, now owned by the scenario layer.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Packets per transfer (the paper sends a 5 MB file ≈ 3500 packets;
+    /// experiments default to 12 batches ≈ 384 so sweeps stay tractable).
+    pub packets: usize,
+    /// Batch size K for MORE and ExOR.
+    pub k: usize,
+    /// Fixed data bit-rate.
+    pub bitrate: Bitrate,
+    /// Simulated-time budget per run.
+    pub deadline_s: u64,
+    /// RNG seed (medium + protocol randomness).
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            packets: 384,
+            k: 32,
+            bitrate: Bitrate::B5_5,
+            deadline_s: 240,
+            seed: 1,
+        }
+    }
+}
+
+/// One transfer: a source, one or more destinations (several =
+/// multicast), and a packet count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowSpec {
+    pub src: NodeId,
+    pub dsts: Vec<NodeId>,
+    pub packets: usize,
+}
+
+impl FlowSpec {
+    pub fn unicast(src: NodeId, dst: NodeId, packets: usize) -> Self {
+        FlowSpec {
+            src,
+            dsts: vec![dst],
+            packets,
+        }
+    }
+
+    pub fn is_multicast(&self) -> bool {
+        self.dsts.len() > 1
+    }
+
+    /// The single destination of a unicast flow.
+    pub fn dst(&self) -> NodeId {
+        self.dsts[0]
+    }
+}
+
+/// How the topology of a run is produced.
+#[derive(Clone)]
+pub enum TopologySpec {
+    /// The 20-node, 3-floor testbed generator (Fig 4-1), by seed.
+    Testbed { seed: u64 },
+    /// Smaller/larger testbed-style mesh.
+    TestbedSized { n: usize, seed: u64 },
+    /// A line of `hops` hops (`hops + 1` nodes).
+    Line {
+        hops: usize,
+        p_adj: f64,
+        skip_decay: f64,
+        spacing: f64,
+    },
+    /// A `w × h` grid.
+    Grid {
+        w: usize,
+        h: usize,
+        p_adj: f64,
+        p_diag: f64,
+        spacing: f64,
+    },
+    /// A random scattered mesh, by seed.
+    RandomMesh {
+        n: usize,
+        width: f64,
+        depth: f64,
+        seed: u64,
+    },
+    /// The Fig 5-1 diamond with `k` middle forwarders.
+    Diamond { k: usize, p: f64 },
+    /// A fixed, caller-supplied topology.
+    Fixed(Arc<Topology>),
+    /// Arbitrary generator; receives the *run seed* so per-run topologies
+    /// are possible.
+    Custom(Arc<dyn Fn(u64) -> Topology + Send + Sync>),
+}
+
+impl std::fmt::Debug for TopologySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologySpec::Testbed { seed } => write!(f, "Testbed{{seed:{seed}}}"),
+            TopologySpec::TestbedSized { n, seed } => {
+                write!(f, "TestbedSized{{n:{n},seed:{seed}}}")
+            }
+            TopologySpec::Line { hops, .. } => write!(f, "Line{{hops:{hops}}}"),
+            TopologySpec::Grid { w, h, .. } => write!(f, "Grid{{{w}x{h}}}"),
+            TopologySpec::RandomMesh { n, seed, .. } => {
+                write!(f, "RandomMesh{{n:{n},seed:{seed}}}")
+            }
+            TopologySpec::Diamond { k, p } => write!(f, "Diamond{{k:{k},p:{p}}}"),
+            TopologySpec::Fixed(t) => write!(f, "Fixed({})", t.name),
+            TopologySpec::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl TopologySpec {
+    /// Builds the topology for a run. `run_seed` only matters for
+    /// [`TopologySpec::Custom`] generators that opt into it.
+    pub fn instantiate(&self, run_seed: u64) -> Topology {
+        match self {
+            TopologySpec::Testbed { seed } => generate::testbed(*seed),
+            TopologySpec::TestbedSized { n, seed } => generate::testbed_sized(*n, *seed),
+            TopologySpec::Line {
+                hops,
+                p_adj,
+                skip_decay,
+                spacing,
+            } => generate::line(*hops, *p_adj, *skip_decay, *spacing),
+            TopologySpec::Grid {
+                w,
+                h,
+                p_adj,
+                p_diag,
+                spacing,
+            } => generate::grid(*w, *h, *p_adj, *p_diag, *spacing),
+            TopologySpec::RandomMesh {
+                n,
+                width,
+                depth,
+                seed,
+            } => generate::random_mesh(*n, *width, *depth, *seed),
+            TopologySpec::Diamond { k, p } => generate::diamond(*k, *p),
+            TopologySpec::Fixed(t) => (**t).clone(),
+            TopologySpec::Custom(f) => f(run_seed),
+        }
+    }
+}
+
+/// Scales every link's *loss* by `factor` (a loss-scale sweep): delivery
+/// `p` becomes `1 − min(1, (1 − p) · factor)`. `factor` 1.0 is identity;
+/// 0.0 makes every existing link perfect; larger values degrade.
+pub fn scale_loss(topo: &Topology, factor: f64) -> Topology {
+    let n = topo.n();
+    let mut m = vec![vec![0.0; n]; n];
+    for (i, row) in m.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let p = topo.delivery(NodeId(i), NodeId(j));
+            if i != j && p > 0.0 {
+                *cell = (1.0 - (1.0 - p) * factor).clamp(0.0, 1.0);
+            }
+        }
+    }
+    let name = format!("{}*loss{factor}", topo.name);
+    let scaled = Topology::from_matrix(name, m);
+    match topo.positions() {
+        Some(pos) => scaled.with_positions(pos.to_vec()),
+        None => scaled,
+    }
+}
+
+/// How the flows of each run are produced.
+///
+/// A traffic spec expands to one or more *flow sets*; each flow set is
+/// one simulator run (its flows are concurrent).
+#[derive(Clone, Debug)]
+pub enum TrafficSpec {
+    /// One unicast transfer.
+    SinglePair { src: NodeId, dst: NodeId },
+    /// One independent run per listed pair.
+    EachPair(Vec<(NodeId, NodeId)>),
+    /// Deterministically samples `count` distinct reachable ordered pairs
+    /// (seeded independently of the run seed), one run per pair.
+    RandomPairs { count: usize, seed: u64 },
+    /// One run with all listed flows concurrent.
+    Concurrent(Vec<(NodeId, NodeId)>),
+    /// One run of `n_flows` concurrent flows whose endpoints are sampled
+    /// per run-seed (so every seed sees a different random flow set, the
+    /// Fig 4-5 construction). Sources are distinct when
+    /// `distinct_sources`.
+    RandomConcurrent {
+        n_flows: usize,
+        seed_offset: u64,
+        distinct_sources: bool,
+    },
+    /// One run with a single multicast flow.
+    Multicast { src: NodeId, dsts: Vec<NodeId> },
+}
+
+impl TrafficSpec {
+    /// Expands to the flow sets of one run seed. Pair sampling is
+    /// restricted to reachable ordered pairs.
+    pub fn flow_sets(&self, topo: &Topology, run_seed: u64, packets: usize) -> Vec<Vec<FlowSpec>> {
+        match self {
+            TrafficSpec::SinglePair { src, dst } => {
+                vec![vec![FlowSpec::unicast(*src, *dst, packets)]]
+            }
+            TrafficSpec::EachPair(pairs) => pairs
+                .iter()
+                .map(|&(s, d)| vec![FlowSpec::unicast(s, d, packets)])
+                .collect(),
+            TrafficSpec::RandomPairs { count, seed } => random_pairs(topo, *count, *seed)
+                .into_iter()
+                .map(|(s, d)| vec![FlowSpec::unicast(s, d, packets)])
+                .collect(),
+            TrafficSpec::Concurrent(pairs) => vec![pairs
+                .iter()
+                .map(|&(s, d)| FlowSpec::unicast(s, d, packets))
+                .collect()],
+            TrafficSpec::RandomConcurrent {
+                n_flows,
+                seed_offset,
+                distinct_sources,
+            } => {
+                let pool = random_pairs(topo, topo.n() * topo.n(), seed_offset + run_seed);
+                let mut flows = Vec::new();
+                let mut used = HashSet::new();
+                for (s, d) in pool {
+                    if *distinct_sources && !used.insert(s) {
+                        continue;
+                    }
+                    flows.push(FlowSpec::unicast(s, d, packets));
+                    if flows.len() == *n_flows {
+                        break;
+                    }
+                }
+                assert_eq!(
+                    flows.len(),
+                    *n_flows,
+                    "topology {} cannot host {} distinct-source flows",
+                    topo.name,
+                    n_flows
+                );
+                vec![flows]
+            }
+            TrafficSpec::Multicast { src, dsts } => vec![vec![FlowSpec {
+                src: *src,
+                dsts: dsts.clone(),
+                packets,
+            }]],
+        }
+    }
+}
+
+/// Deterministically samples `count` distinct reachable ordered pairs.
+pub fn random_pairs(topo: &Topology, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut all: Vec<(NodeId, NodeId)> = Vec::new();
+    for s in topo.nodes() {
+        for d in topo.nodes() {
+            if s != d && topo.hop_count(s, d).is_some() {
+                all.push((s, d));
+            }
+        }
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(count);
+    all
+}
+
+/// A parameter grid swept by a scenario; each sweep point is a full
+/// (protocol × seed × flow-set) sub-grid.
+#[derive(Clone, Debug)]
+pub enum Sweep {
+    /// Transfer sizes.
+    Packets(Vec<usize>),
+    /// Batch sizes (Fig 4-7).
+    K(Vec<usize>),
+    /// Data bit-rates (Fig 4-6 uses a fixed one; sweeps compare).
+    Bitrate(Vec<Bitrate>),
+    /// Loss scaling applied to the topology (see [`scale_loss`]).
+    LossScale(Vec<f64>),
+    /// Concurrent random flow counts (Fig 4-5).
+    Flows(Vec<usize>),
+}
+
+impl Sweep {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Sweep::Packets(_) => "packets",
+            Sweep::K(_) => "k",
+            Sweep::Bitrate(_) => "bitrate",
+            Sweep::LossScale(_) => "loss_scale",
+            Sweep::Flows(_) => "flows",
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Sweep::Packets(v) => v.len(),
+            Sweep::K(v) => v.len(),
+            Sweep::Bitrate(v) => v.len(),
+            Sweep::LossScale(v) => v.len(),
+            Sweep::Flows(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Numeric value of point `i` (bitrates report Mb/s).
+    pub fn value(&self, i: usize) -> f64 {
+        match self {
+            Sweep::Packets(v) => v[i] as f64,
+            Sweep::K(v) => v[i] as f64,
+            Sweep::Bitrate(v) => v[i].bits_per_us(),
+            Sweep::LossScale(v) => v[i],
+            Sweep::Flows(v) => v[i] as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    #[test]
+    fn random_pairs_are_deterministic_and_reachable() {
+        let topo = generate::testbed(2);
+        let a = random_pairs(&topo, 30, 7);
+        let b = random_pairs(&topo, 30, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        for (s, d) in a {
+            assert_ne!(s, d);
+            assert!(topo.hop_count(s, d).is_some());
+        }
+    }
+
+    #[test]
+    fn loss_scaling_bounds() {
+        let topo = generate::testbed(1);
+        let perfect = scale_loss(&topo, 0.0);
+        let worse = scale_loss(&topo, 2.0);
+        for l in topo.links() {
+            assert_eq!(perfect.delivery(l.from, l.to), 1.0);
+            let w = worse.delivery(l.from, l.to);
+            assert!(w <= l.delivery + 1e-12, "loss must not shrink");
+            assert!((0.0..=1.0).contains(&w));
+        }
+        // Identity preserves the matrix.
+        let same = scale_loss(&topo, 1.0);
+        for l in topo.links() {
+            assert!((same.delivery(l.from, l.to) - l.delivery).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_concurrent_depends_on_run_seed() {
+        let topo = generate::testbed(1);
+        let spec = TrafficSpec::RandomConcurrent {
+            n_flows: 3,
+            seed_offset: 1000,
+            distinct_sources: true,
+        };
+        let a = spec.flow_sets(&topo, 1, 64);
+        let b = spec.flow_sets(&topo, 1, 64);
+        let c = spec.flow_sets(&topo, 2, 64);
+        assert_eq!(a, b, "same run seed, same flows");
+        assert_ne!(a, c, "different run seed, different flows");
+        assert_eq!(a[0].len(), 3);
+        let sources: HashSet<NodeId> = a[0].iter().map(|f| f.src).collect();
+        assert_eq!(sources.len(), 3, "distinct sources");
+    }
+}

@@ -37,7 +37,10 @@ fn more_throughput(topo: &more_repro::topology::Topology, s: NodeId, d: NodeId) 
     sim.run_until(deadline, |a: &MoreAgent| a.all_done());
     let p = sim.agent.progress(flow);
     let t = p.completed_at.unwrap_or(deadline).max(1);
-    (p.delivered_packets as f64 / (t as f64 / SEC as f64), n_forwarders)
+    (
+        p.delivered_packets as f64 / (t as f64 / SEC as f64),
+        n_forwarders,
+    )
 }
 
 fn main() {

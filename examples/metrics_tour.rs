@@ -30,7 +30,13 @@ fn main() {
 
     // Algorithm 1 on the same topology: how many transmissions each node
     // makes per delivered packet, and the TX credits MORE ships in headers.
-    let plan = ForwarderPlan::compute(&topo, NodeId(0), dst, etx.distances(), &PlanConfig::unpruned());
+    let plan = ForwarderPlan::compute(
+        &topo,
+        NodeId(0),
+        dst,
+        etx.distances(),
+        &PlanConfig::unpruned(),
+    );
     println!("Algorithm 1 (ETX order):");
     for &n in &plan.order {
         println!(
@@ -38,7 +44,10 @@ fn main() {
             plan.z[n.0], plan.load[n.0], plan.tx_credit[n.0]
         );
     }
-    println!("  total cost {:.3} transmissions per packet\n", plan.total_cost());
+    println!(
+        "  total cost {:.3} transmissions per packet\n",
+        plan.total_cost()
+    );
 
     // The full min-cost flow (Algorithm 6) under the EOTX order equals
     // the source's EOTX.
@@ -56,6 +65,9 @@ fn main() {
         let k = 8;
         let d = generate::diamond(k, p);
         let (src, _, _, _, ddst) = generate::diamond_roles(k);
-        println!("  p = {p:<5}: gap = {:.2} (limit {k})", pair_gap(&d, src, ddst));
+        println!(
+            "  p = {p:<5}: gap = {:.2} (limit {k})",
+            pair_gap(&d, src, ddst)
+        );
     }
 }

@@ -1,12 +1,12 @@
-//! Quickstart: run a MORE file transfer across a simulated 20-node mesh.
+//! Quickstart: compare MORE against the paper's baselines on a simulated
+//! 20-node mesh with the scenario builder — declare, run, read records.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use more_repro::more::{MoreAgent, MoreConfig};
-use more_repro::sim::{SimConfig, Simulator, SEC};
-use more_repro::topology::{generate, NodeId};
+use more_repro::scenario::{record, Scenario, TrafficSpec};
+use more_repro::topology::generate;
 
 fn main() {
     // 1. A testbed-like topology: 20 nodes, 3 floors, lossy 802.11b links.
@@ -19,29 +19,46 @@ fn main() {
         100.0 * topo.mean_link_loss()
     );
 
-    // 2. A MORE agent with one flow: 384 packets (12 batches of K=32)
-    //    from node 0 to node 19.
-    let (src, dst) = (NodeId(0), NodeId(19));
-    let mut agent = MoreAgent::new(topo.clone(), MoreConfig::default());
-    let flow = agent.add_flow(1, src, dst, 384);
+    // 2. Declare the experiment: the paper's three-way comparison over
+    //    random source→destination pairs, 384 packets each (12 batches
+    //    of K=32), identical topology and seeds for every protocol.
+    let records = Scenario::named("quickstart")
+        .testbed(1)
+        .traffic(TrafficSpec::RandomPairs { count: 8, seed: 42 })
+        .protocols(["Srcr", "ExOR", "MORE"])
+        .packets(384)
+        .deadline(240)
+        .run();
 
-    // 3. Simulate until the transfer completes.
-    let mut sim = Simulator::new(topo, SimConfig::default(), agent, 42);
-    sim.kick(src);
-    sim.run_until(600 * SEC, |a: &MoreAgent| a.all_done());
-
-    // 4. Results.
-    let p = sim.agent.progress(flow);
-    let secs = p.completed_at.expect("transfer completed") as f64 / SEC as f64;
-    println!("transferred {} packets {src} -> {dst} in {secs:.2} s", p.delivered_packets);
-    println!("throughput: {:.1} packets/s", p.delivered_packets as f64 / secs);
+    // 3. Read structured results.
     println!(
-        "network cost: {} transmissions ({:.2} per delivered packet)",
-        sim.stats.total_tx(),
-        sim.stats.total_tx() as f64 / p.delivered_packets as f64
+        "{:>6} | {:>10} {:>10} {:>12} {:>10}",
+        "proto", "mean pkt/s", "completed", "tx/packet", "overlap"
     );
+    for proto in ["Srcr", "ExOR", "MORE"] {
+        let rs: Vec<_> = records.iter().filter(|r| r.protocol == proto).collect();
+        let mean_tput = rs.iter().map(|r| r.mean_throughput()).sum::<f64>() / rs.len() as f64;
+        let completed = rs.iter().filter(|r| r.all_completed()).count();
+        let tx_per_packet = rs
+            .iter()
+            .map(|r| {
+                let delivered: usize = r.flows.iter().map(|f| f.delivered).sum();
+                r.total_tx as f64 / delivered.max(1) as f64
+            })
+            .sum::<f64>()
+            / rs.len() as f64;
+        let overlap = rs.iter().map(|r| r.concurrency).sum::<f64>() / rs.len() as f64;
+        println!(
+            "{proto:>6} | {mean_tput:10.1} {completed:>7}/{:<2} {tx_per_packet:12.2} {:9.1}%",
+            rs.len(),
+            100.0 * overlap
+        );
+    }
+
+    // 4. Everything serializes — hand the records to plotting scripts.
+    record::write_json("results/quickstart.json", &records).expect("write JSON");
+    println!("\nraw records: results/quickstart.json");
     println!(
-        "collisions {} (captured {}), batch ACKs retried {} times",
-        sim.stats.collisions, sim.stats.captures, sim.stats.retries
+        "(custom protocols plug in via ProtocolRegistry::register — see tests/scenario_api.rs)"
     );
 }

@@ -10,6 +10,9 @@
 //! * [`sim`] — the deterministic discrete-event 802.11 simulator.
 //! * [`more`] — the MORE protocol (the paper's contribution).
 //! * [`baselines`] — Srcr and ExOR, the protocols MORE is compared against.
+//! * [`scenario`] — the composable scenario builder and pluggable
+//!   protocol registry (declare topology + traffic + protocols + sweeps,
+//!   run the grid in parallel, read structured records).
 
 pub use baselines;
 pub use gf256;
@@ -17,4 +20,5 @@ pub use mesh_metrics as metrics;
 pub use mesh_sim as sim;
 pub use mesh_topology as topology;
 pub use more_core as more;
+pub use more_scenario as scenario;
 pub use rlnc;

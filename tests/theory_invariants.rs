@@ -8,11 +8,7 @@ use more_repro::metrics::{EotxTable, EtxTable, ForwarderPlan, PlanConfig};
 use more_repro::topology::{generate, NodeId};
 use proptest::prelude::*;
 
-fn order_for(
-    topo: &more_repro::topology::Topology,
-    metric: &[f64],
-    src: usize,
-) -> Vec<NodeId> {
+fn order_for(topo: &more_repro::topology::Topology, metric: &[f64], src: usize) -> Vec<NodeId> {
     let key = |i: usize| (metric[i], i);
     let mut v: Vec<usize> = (0..topo.n())
         .filter(|&i| i == src || (metric[i].is_finite() && key(i) < key(src)))

@@ -1,0 +1,75 @@
+//! Vendored stub of the `bytes` crate: just [`Bytes`], a cheaply
+//! clonable, immutable, shared byte buffer (reference-counted slice).
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter().take(32) {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.0.len() > 32 {
+            write!(f, "…({} bytes)", self.0.len())?;
+        }
+        write!(f, "\"")
+    }
+}

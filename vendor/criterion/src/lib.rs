@@ -1,0 +1,243 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Supports the subset of the API this workspace's benches use —
+//! benchmark groups, `bench_function` / `bench_with_input`, `iter`,
+//! `Throughput`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple calibrated-loop timer
+//! instead of criterion's statistics machinery.
+//!
+//! Honors `CRITERION_QUICK=1` (or a `--quick`-ish fast path when run
+//! under `cargo test`) by shrinking measurement time.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-iteration work attributed to the measurement, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the measured routine.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: find an iteration count that runs ≥ measure_for.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measure_for || iters >= 1 << 30 {
+                self.measured = Some((elapsed, iters));
+                return;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                let scale = self.measure_for.as_nanos() as f64 / elapsed.as_nanos() as f64;
+                ((iters as f64 * scale * 1.2).ceil() as u64).max(iters + 1)
+            };
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; this harness has no sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            measured: None,
+            measure_for: self.criterion.measure_for,
+        };
+        f(&mut b);
+        match b.measured {
+            Some((elapsed, iters)) => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                let rate = self.throughput.map(|t| match t {
+                    Throughput::Bytes(bytes) => {
+                        let gib = bytes as f64 / ns * 1e9 / (1u64 << 30) as f64;
+                        format!("  {gib:9.3} GiB/s")
+                    }
+                    Throughput::Elements(n) => {
+                        let me = n as f64 / ns * 1e9 / 1e6;
+                        format!("  {me:9.3} Melem/s")
+                    }
+                });
+                println!(
+                    "{full:<52} {:>12}/iter{}",
+                    format_ns(ns),
+                    rate.unwrap_or_default()
+                );
+            }
+            None => println!("{full:<52} (no measurement: iter was never called)"),
+        }
+    }
+
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:8.2} ms", ns / 1e6)
+    } else {
+        format!("{:8.3} s", ns / 1e9)
+    }
+}
+
+/// The harness entry object.
+pub struct Criterion {
+    filter: Option<String>,
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // cargo also injects `--bench`. Under `cargo test` (`--test`) the
+        // run only asserts that benches execute, so measure almost nothing.
+        let mut filter = None;
+        let mut quick = std::env::var_os("CRITERION_QUICK").is_some();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--bench" => {}
+                "--test" => quick = true,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            filter,
+            measure_for: if quick {
+                Duration::from_millis(1)
+            } else {
+                Duration::from_millis(120)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.id.clone());
+        group.bench_function("run", f);
+        group.finish();
+    }
+}
+
+/// Re-export for `b.iter(|| black_box(...))`-style code that imports it
+/// from criterion rather than std.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,41 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::Strategy;
+use rand::{Rng, RngCore};
+use std::ops::Range;
+
+/// Accepted sizes for [`vec`]: a fixed length or a range of lengths.
+pub trait SizeRange {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample<R: RngCore + ?Sized>(&self, _rng: &mut R) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+/// `proptest::collection::vec(element_strategy, len)`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<S::Value> {
+        let n = self.len.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,99 @@
+//! Vendored mini property-testing shim exposing the subset of the
+//! `proptest` API this workspace uses: the `proptest!` macro with
+//! `arg in strategy` bindings and an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! `any::<T>()`, integer-range strategies, `prop_map`,
+//! `proptest::collection::vec`, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from real proptest, by design:
+//! * no shrinking — a failing case reports its inputs via the panic
+//!   message of the underlying `assert!`;
+//! * cases are generated from a ChaCha8 stream seeded by the test's
+//!   name, so runs are fully deterministic;
+//! * `prop_assume!` skips the case without replacement draws.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Strategy};
+pub use test_runner::ProptestConfig;
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Expands property functions into `#[test]` functions running `cases`
+/// deterministic samples each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                // The closure gives `prop_assume!` an early exit without
+                // aborting the whole test.
+                let run_case = || {
+                    let _ = &case;
+                    $body
+                };
+                run_case();
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a property (no shrinking: delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}

@@ -1,0 +1,102 @@
+//! Value-generation strategies.
+
+use rand::{Rng, RngCore};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values of `Self::Value` from the deterministic case RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `any::<T>()`: the full uniform domain of a primitive type.
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! any_impl {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+any_impl!(u8, u16, u32, u64, usize, i32, i64, bool, f64);
+
+macro_rules! range_impl {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_impl!(u8, u16, u32, u64, usize);
+
+/// Tuples of strategies generate tuples of values.
+macro_rules! tuple_impl {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate<RR: RngCore + ?Sized>(&self, rng: &mut RR) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_impl!(A);
+tuple_impl!(A, B);
+tuple_impl!(A, B, C);
+tuple_impl!(A, B, C, D);
+
+/// A constant strategy (proptest's `Just`).
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate<R: RngCore + ?Sized>(&self, _rng: &mut R) -> T {
+        self.0.clone()
+    }
+}

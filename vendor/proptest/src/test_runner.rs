@@ -1,0 +1,33 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Subset of proptest's config: only the case count.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG derived from the fully-qualified test name (FNV-1a),
+/// so every run of a given test replays the same cases.
+pub fn rng_for(test_name: &str) -> ChaCha8Rng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    ChaCha8Rng::seed_from_u64(h)
+}
