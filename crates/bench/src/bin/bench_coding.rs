@@ -1,0 +1,162 @@
+//! Coding-throughput benchmark: the first measured point on the perf
+//! trajectory (ROADMAP "as fast as the hardware allows").
+//!
+//! Measures the RLNC hot path with both kernel families — the scalar
+//! byte-at-a-time 64 KiB table walk and the wide nibble split-table
+//! kernels (AVX2/SSSE3/SWAR) — and writes the numbers to
+//! `BENCH_coding.json` so later PRs have a trajectory to beat:
+//!
+//! * **encode** — source-side `Σ cᵢ·pᵢ` via the batched
+//!   `slice_ops::axpy_many` pass, reported in MB/s of payload coded;
+//! * **decode** — destination-side incremental Gaussian elimination,
+//!   reported in µs per received packet.
+//!
+//! ```sh
+//! cargo run --release -p more-bench --bin bench_coding          # full run
+//! cargo run --release -p more-bench --bin bench_coding -- --ms 50
+//! cargo run --release -p more-bench --bin bench_coding -- --out /tmp/b.json
+//! ```
+
+use gf256::slice_ops::{set_kernel, Kernel};
+use more_bench::common::{banner, Args};
+use more_core::batch_natives;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rlnc::{Decoder, SourceEncoder};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// (K, payload bytes) grid; (32, 1500) is the paper's Table 4.1 point and
+/// the acceptance point for the ≥2× encode target.
+const ENCODE_GRID: [(usize, usize); 6] = [
+    (8, 256),
+    (8, 1500),
+    (32, 256),
+    (32, 1500),
+    (128, 1500),
+    (32, 8192),
+];
+
+const DECODE_GRID: [(usize, usize); 2] = [(32, 1500), (128, 1500)];
+
+/// Runs `routine` repeatedly for at least `budget`, returning mean seconds
+/// per call.
+fn time_per_call<O>(budget: Duration, mut routine: impl FnMut() -> O) -> f64 {
+    // Warm up: tables, caches, branch predictors, SIMD detection.
+    for _ in 0..3 {
+        black_box(routine());
+    }
+    let mut iters: u64 = 0;
+    let start = Instant::now();
+    loop {
+        for _ in 0..8 {
+            black_box(routine());
+        }
+        iters += 8;
+        let elapsed = start.elapsed();
+        if elapsed >= budget {
+            return elapsed.as_secs_f64() / iters as f64;
+        }
+    }
+}
+
+/// Encode throughput in MB/s of payload produced (1 MB = 1e6 bytes).
+fn encode_mbps(k: usize, payload: usize, kernel: Kernel, budget: Duration) -> f64 {
+    set_kernel(kernel);
+    let enc = SourceEncoder::new(batch_natives(1, 0, k, payload)).expect("valid batch");
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let per_call = time_per_call(budget, || enc.encode(&mut rng));
+    set_kernel(Kernel::Auto);
+    payload as f64 / per_call / 1e6
+}
+
+/// Decode cost in µs per received packet (full-batch decode / K).
+fn decode_us_per_packet(k: usize, payload: usize, kernel: Kernel, budget: Duration) -> f64 {
+    set_kernel(kernel);
+    let enc = SourceEncoder::new(batch_natives(1, 0, k, payload)).expect("valid batch");
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    // Enough random packets that K of them are innovative w.h.p.
+    let packets: Vec<_> = (0..2 * k).map(|_| enc.encode(&mut rng)).collect();
+    let per_call = time_per_call(budget, || {
+        let mut dec = Decoder::new(k, payload);
+        for p in &packets {
+            if dec.is_complete() {
+                break;
+            }
+            dec.receive(p);
+        }
+        assert!(dec.is_complete(), "not enough packets to decode");
+        dec.rank()
+    });
+    set_kernel(Kernel::Auto);
+    per_call / k as f64 * 1e6
+}
+
+fn main() {
+    let args = Args::parse();
+    let budget = Duration::from_millis(args.get("ms", 200u64));
+    let out = args.get("out", "BENCH_coding.json".to_string());
+    let backend = gf256::wide::backend();
+
+    banner(
+        "bench_coding",
+        &format!("GF(256) coding kernels, scalar vs wide ({backend})"),
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"coding\",");
+    let _ = writeln!(json, "  \"wide_backend\": \"{backend}\",");
+    let _ = writeln!(json, "  \"units\": {{ \"encode\": \"MB/s of coded payload\", \"decode\": \"us per received packet\" }},");
+
+    println!("\nencode (MB/s of coded payload):");
+    println!(
+        "{:>5} {:>9} | {:>10} {:>10} {:>8}",
+        "K", "payload", "scalar", "wide", "speedup"
+    );
+    let mut acceptance = 0.0f64;
+    let _ = writeln!(json, "  \"encode\": [");
+    for (i, &(k, payload)) in ENCODE_GRID.iter().enumerate() {
+        let scalar = encode_mbps(k, payload, Kernel::Scalar, budget);
+        let wide = encode_mbps(k, payload, Kernel::Wide, budget);
+        let speedup = wide / scalar;
+        if (k, payload) == (32, 1500) {
+            acceptance = speedup;
+        }
+        println!("{k:>5} {payload:>9} | {scalar:>10.1} {wide:>10.1} {speedup:>7.2}x");
+        let comma = if i + 1 == ENCODE_GRID.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"k\": {k}, \"payload_bytes\": {payload}, \"scalar_mbps\": {scalar:.1}, \"wide_mbps\": {wide:.1}, \"speedup\": {speedup:.2} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    println!("\ndecode (µs per received packet):");
+    println!(
+        "{:>5} {:>9} | {:>10} {:>10} {:>8}",
+        "K", "payload", "scalar", "wide", "speedup"
+    );
+    let _ = writeln!(json, "  \"decode\": [");
+    for (i, &(k, payload)) in DECODE_GRID.iter().enumerate() {
+        let scalar = decode_us_per_packet(k, payload, Kernel::Scalar, budget);
+        let wide = decode_us_per_packet(k, payload, Kernel::Wide, budget);
+        let speedup = scalar / wide;
+        println!("{k:>5} {payload:>9} | {scalar:>10.2} {wide:>10.2} {speedup:>7.2}x");
+        let comma = if i + 1 == DECODE_GRID.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"k\": {k}, \"payload_bytes\": {payload}, \"scalar_us_per_packet\": {scalar:.2}, \"wide_us_per_packet\": {wide:.2}, \"speedup\": {speedup:.2} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{ \"point\": \"encode K=32 payload=1500\", \"speedup\": {acceptance:.2}, \"target\": 2.0 }}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nencode speedup at the acceptance point (K=32, 1500 B): {acceptance:.2}x");
+    println!("results written to {out}");
+}

@@ -11,6 +11,16 @@
 //! computed at compile time; [`slice_ops`] provides the cache-friendly
 //! row-at-a-time kernels built on it.
 //!
+//! Two kernel families implement the slice operations: [`scalar`] walks the
+//! 64 KiB table one byte at a time (the paper's formulation, kept as the
+//! measured baseline), and [`wide`] splits each multiplication across two
+//! 16-entry nibble half-tables ([`tables::MUL_LO`] / [`tables::MUL_HI`])
+//! and streams 32/16/8 bytes per step (AVX2 / SSSE3 / `u64` SWAR, detected
+//! at runtime). [`slice_ops`] dispatches between them — wide by default,
+//! scalar behind the `scalar` cargo feature or a
+//! [`slice_ops::set_kernel`] override — and adds the multi-source
+//! [`slice_ops::axpy_many`] pass that the coding hot path batches through.
+//!
 //! The field is GF(2⁸) with the AES reduction polynomial
 //! x⁸ + x⁴ + x³ + x + 1 (0x11B). Addition is XOR; subtraction equals
 //! addition; every non-zero element has a multiplicative inverse.
@@ -27,8 +37,12 @@
 //! assert_eq!(a + a, Gf256::ZERO); // characteristic 2
 //! ```
 
+#![deny(missing_docs)]
+
+pub mod scalar;
 pub mod slice_ops;
 pub mod tables;
+pub mod wide;
 
 use core::fmt;
 use core::iter::{Product, Sum};

@@ -1,17 +1,92 @@
 //! Bulk operations on byte slices interpreted as vectors over GF(2⁸).
 //!
 //! These are the kernels behind packet coding and decoding: a coded packet
-//! is `Σ cᵢ·pᵢ`, so producing one is a sequence of [`mul_add_assign`] calls
-//! (one per stored packet), and decoding is row reduction built from
-//! [`mul_assign`] and [`mul_add_assign`].
+//! is `Σ cᵢ·pᵢ`, so producing one is a single [`axpy_many`] pass over the
+//! sources, and decoding is row reduction built from [`mul_assign`],
+//! [`mul_into`], and [`mul_add_assign`].
 //!
-//! All kernels fetch the 256-byte row of the multiplication table for the
-//! scalar once and then stream through the data, which is what makes the
-//! cost "K finite-field multiplications per byte" (thesis §4.6a) a table
-//! walk rather than a polynomial reduction per byte.
+//! Two kernel families implement this API:
+//!
+//! * [`crate::wide`] — nibble split-table kernels that stream 32/16/8 bytes
+//!   per step (AVX2 / SSSE3 / `u64` SWAR, detected at runtime) — the
+//!   default;
+//! * [`crate::scalar`] — the original byte-at-a-time 64 KiB table walk,
+//!   kept as the measured baseline and as the fallback behind the `scalar`
+//!   cargo feature.
+//!
+//! The functions here dispatch between the two; [`set_kernel`] overrides
+//! the choice process-wide (used by benches and by the scalar-vs-wide
+//! equivalence tests — both families compute identical bytes, so switching
+//! kernels never changes results, only speed).
+//!
+//! ```
+//! use more_gf256::{slice_ops, Gf256};
+//!
+//! // One coded packet from three sources in one streaming pass.
+//! let (p0, p1, p2) = ([1u8; 8], [2u8; 8], [3u8; 8]);
+//! let mut coded = vec![0u8; 8];
+//! slice_ops::axpy_many(
+//!     &mut coded,
+//!     &[(Gf256(5), &p0), (Gf256(7), &p1), (Gf256(11), &p2)],
+//! );
+//! let byte = Gf256(5) * Gf256(1) + Gf256(7) * Gf256(2) + Gf256(11) * Gf256(3);
+//! assert_eq!(coded, vec![byte.0; 8]);
+//! ```
+
+use crate::{scalar, wide, Gf256};
+use core::sync::atomic::{AtomicU8, Ordering};
 
 use crate::tables::MUL;
-use crate::Gf256;
+
+/// Which kernel family the dispatching slice kernels run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Resolve automatically: [`Kernel::Wide`] unless the crate was built
+    /// with the `scalar` feature.
+    Auto,
+    /// Force the byte-at-a-time reference kernels ([`crate::scalar`]).
+    Scalar,
+    /// Force the chunked kernels ([`crate::wide`]).
+    Wide,
+}
+
+/// Process-wide kernel override; 0 = auto, 1 = scalar, 2 = wide.
+static KERNEL: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides kernel selection for the whole process.
+///
+/// Both families compute identical bytes, so this changes performance only
+/// — it exists for A/B benchmarking and for the scalar-vs-wide equivalence
+/// tests. Pass [`Kernel::Auto`] to restore the default.
+pub fn set_kernel(k: Kernel) {
+    let v = match k {
+        Kernel::Auto => 0,
+        Kernel::Scalar => 1,
+        Kernel::Wide => 2,
+    };
+    KERNEL.store(v, Ordering::SeqCst);
+}
+
+/// The kernel family the dispatching entry points currently resolve to
+/// (never [`Kernel::Auto`]).
+pub fn active_kernel() -> Kernel {
+    match KERNEL.load(Ordering::Relaxed) {
+        1 => Kernel::Scalar,
+        2 => Kernel::Wide,
+        _ => {
+            if cfg!(feature = "scalar") {
+                Kernel::Scalar
+            } else {
+                Kernel::Wide
+            }
+        }
+    }
+}
+
+#[inline]
+fn wide_active() -> bool {
+    matches!(active_kernel(), Kernel::Wide)
+}
 
 /// `dst[i] ^= src[i]` — add (XOR) `src` into `dst`.
 ///
@@ -20,24 +95,20 @@ use crate::Gf256;
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn add_assign(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "slice length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= s;
+    if wide_active() {
+        wide::add_assign(dst, src);
+    } else {
+        scalar::add_assign(dst, src);
     }
 }
 
 /// `dst[i] = c * dst[i]` — scale a slice in place.
 #[inline]
 pub fn mul_assign(dst: &mut [u8], c: Gf256) {
-    match c {
-        Gf256::ZERO => dst.fill(0),
-        Gf256::ONE => {}
-        _ => {
-            let row = &MUL[c.0 as usize];
-            for d in dst.iter_mut() {
-                *d = row[*d as usize];
-            }
-        }
+    if wide_active() {
+        wide::mul_assign(dst, c);
+    } else {
+        scalar::mul_assign(dst, c);
     }
 }
 
@@ -48,16 +119,10 @@ pub fn mul_assign(dst: &mut [u8], c: Gf256) {
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn mul_add_assign(dst: &mut [u8], src: &[u8], c: Gf256) {
-    assert_eq!(dst.len(), src.len(), "slice length mismatch");
-    match c {
-        Gf256::ZERO => {}
-        Gf256::ONE => add_assign(dst, src),
-        _ => {
-            let row = &MUL[c.0 as usize];
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= row[*s as usize];
-            }
-        }
+    if wide_active() {
+        wide::mul_add_assign(dst, src, c);
+    } else {
+        scalar::mul_add_assign(dst, src, c);
     }
 }
 
@@ -68,16 +133,59 @@ pub fn mul_add_assign(dst: &mut [u8], src: &[u8], c: Gf256) {
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn mul_into(out: &mut [u8], src: &[u8], c: Gf256) {
-    assert_eq!(out.len(), src.len(), "slice length mismatch");
-    match c {
-        Gf256::ZERO => out.fill(0),
-        Gf256::ONE => out.copy_from_slice(src),
-        _ => {
-            let row = &MUL[c.0 as usize];
-            for (o, s) in out.iter_mut().zip(src) {
-                *o = row[*s as usize];
-            }
+    if wide_active() {
+        wide::mul_into(out, src, c);
+    } else {
+        scalar::mul_into(out, src, c);
+    }
+}
+
+/// Bytes of `dst` kept hot per block while [`axpy_many`] folds every
+/// source into it. Half a typical L1 data cache, so block + one source
+/// stream fit comfortably.
+const AXPY_BLOCK: usize = 16 * 1024;
+
+/// `dst += Σ cⱼ·srcⱼ` — multi-source multiply-accumulate in one pass.
+///
+/// This is the batching contract the coding hot path is built on: producing
+/// a coded packet `Σ cᵢ·pᵢ` is **one** call, not K separate
+/// [`mul_add_assign`] passes. `dst` is walked in L1-sized blocks and every
+/// source is folded into the resident block before moving on, so `dst` is
+/// read and written once per block regardless of how many sources there
+/// are. Zero coefficients are skipped for free.
+///
+/// ```
+/// use more_gf256::{slice_ops, Gf256};
+///
+/// let sources = [[7u8; 4], [9u8; 4]];
+/// let mut fused = vec![0u8; 4];
+/// slice_ops::axpy_many(
+///     &mut fused,
+///     &[(Gf256(2), &sources[0]), (Gf256(3), &sources[1])],
+/// );
+///
+/// let mut unfused = vec![0u8; 4];
+/// for (c, s) in [(Gf256(2), &sources[0]), (Gf256(3), &sources[1])] {
+///     slice_ops::mul_add_assign(&mut unfused, s, c);
+/// }
+/// assert_eq!(fused, unfused);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any source length differs from `dst`.
+pub fn axpy_many(dst: &mut [u8], terms: &[(Gf256, &[u8])]) {
+    for (_, src) in terms {
+        assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    }
+    let n = dst.len();
+    let mut off = 0;
+    while off < n {
+        let end = (off + AXPY_BLOCK).min(n);
+        for &(c, src) in terms {
+            mul_add_assign(&mut dst[off..end], &src[off..end], c);
         }
+        off = end;
     }
 }
 
@@ -98,6 +206,8 @@ pub fn dot(a: &[u8], b: &[u8]) -> Gf256 {
 
 /// Linear combination: `out = Σ coeffs[j] * rows[j]`, all rows equal length.
 ///
+/// Zeroes `out` first, then runs one [`axpy_many`] pass.
+///
 /// # Panics
 ///
 /// Panics if `coeffs.len() != rows.len()` or any row length differs from
@@ -105,9 +215,8 @@ pub fn dot(a: &[u8], b: &[u8]) -> Gf256 {
 pub fn linear_combination(out: &mut [u8], rows: &[&[u8]], coeffs: &[Gf256]) {
     assert_eq!(rows.len(), coeffs.len(), "rows/coeffs length mismatch");
     out.fill(0);
-    for (row, &c) in rows.iter().zip(coeffs) {
-        mul_add_assign(out, row, c);
-    }
+    let terms: Vec<(Gf256, &[u8])> = coeffs.iter().zip(rows).map(|(&c, &r)| (c, r)).collect();
+    axpy_many(out, &terms);
 }
 
 #[cfg(test)]
@@ -200,6 +309,68 @@ mod test {
     fn length_mismatch_panics() {
         let mut a = [0u8; 3];
         mul_add_assign(&mut a, &[0u8; 4], Gf256(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_many_length_mismatch_panics() {
+        let mut a = [0u8; 3];
+        let bad = [0u8; 4];
+        axpy_many(&mut a, &[(Gf256(2), &bad)]);
+    }
+
+    #[test]
+    fn axpy_many_matches_sequential_passes() {
+        let k = 37;
+        let len = 1500;
+        let sources: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|j| ((i * 31 + j * 7) % 251) as u8).collect())
+            .collect();
+        let coeffs: Vec<Gf256> = (0..k).map(|i| Gf256((i * 89 % 256) as u8)).collect();
+
+        let mut fused = vec![0u8; len];
+        let terms: Vec<(Gf256, &[u8])> = coeffs
+            .iter()
+            .zip(&sources)
+            .map(|(&c, s)| (c, s.as_slice()))
+            .collect();
+        axpy_many(&mut fused, &terms);
+
+        let mut unfused = vec![0u8; len];
+        for (&c, s) in coeffs.iter().zip(&sources) {
+            mul_add_assign(&mut unfused, s, c);
+        }
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn axpy_many_crosses_block_boundary() {
+        // Longer than AXPY_BLOCK so the blocked walk takes several strides.
+        let len = AXPY_BLOCK * 2 + 17;
+        let s1: Vec<u8> = (0..len).map(|i| (i % 255) as u8).collect();
+        let s2: Vec<u8> = (0..len).map(|i| ((i * 3 + 1) % 253) as u8).collect();
+        let mut fused = vec![0u8; len];
+        axpy_many(&mut fused, &[(Gf256(0x35), &s1), (Gf256(0xC2), &s2)]);
+        let mut unfused = vec![0u8; len];
+        mul_add_assign(&mut unfused, &s1, Gf256(0x35));
+        mul_add_assign(&mut unfused, &s2, Gf256(0xC2));
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn kernel_override_roundtrip() {
+        // Exercise both dispatch targets through the public entry points.
+        let src: Vec<u8> = (0..=255).collect();
+        let mut results = Vec::new();
+        for k in [Kernel::Scalar, Kernel::Wide] {
+            set_kernel(k);
+            assert_eq!(active_kernel(), k);
+            let mut dst = vec![0xA5u8; 256];
+            mul_add_assign(&mut dst, &src, Gf256(0x7B));
+            results.push(dst);
+        }
+        set_kernel(Kernel::Auto);
+        assert_eq!(results[0], results[1], "kernel families disagree");
     }
 
     #[test]

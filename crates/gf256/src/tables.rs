@@ -84,6 +84,36 @@ const fn build_mul() -> [[u8; 256]; 256] {
 /// The 64 KiB full multiplication table: `MUL[a][b] = a·b` in GF(2⁸).
 pub static MUL: [[u8; 256]; 256] = build_mul();
 
+const fn build_half(high: bool) -> [[u8; 16]; 256] {
+    let mut t = [[0u8; 16]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut n = 0usize;
+        while n < 16 {
+            let x = if high { (n << 4) as u8 } else { n as u8 };
+            t[c][n] = mul_slow(c as u8, x);
+            n += 1;
+        }
+        c += 1;
+    }
+    t
+}
+
+/// Low-nibble half-table: `MUL_LO[c][n] = c·n` for `n < 16`.
+///
+/// Together with [`MUL_HI`] this splits multiplication by a fixed scalar
+/// into two 16-entry lookups — `c·x = MUL_LO[c][x & 0xF] ^ MUL_HI[c][x >> 4]`
+/// by linearity of the field over GF(2). The pair of 16-byte rows for one
+/// scalar is 32 bytes (one cache line), and each row is exactly the shape a
+/// 128-bit byte-shuffle instruction consumes, which is what the wide slice
+/// kernels are built on.
+pub static MUL_LO: [[u8; 16]; 256] = build_half(false);
+
+/// High-nibble half-table: `MUL_HI[c][n] = c·(n << 4)` for `n < 16`.
+///
+/// See [`MUL_LO`] for the split-multiplication identity.
+pub static MUL_HI: [[u8; 16]; 256] = build_half(true);
+
 const fn build_inv() -> [u8; 256] {
     let mut t = [0u8; 256];
     let mut a = 1usize;
@@ -153,5 +183,17 @@ mod test {
     #[test]
     fn table_is_64kib() {
         assert_eq!(core::mem::size_of_val(&MUL), 64 * 1024);
+    }
+
+    #[test]
+    fn half_tables_recombine_to_mul() {
+        for c in 0..256usize {
+            for x in 0..256usize {
+                let split = MUL_LO[c][x & 0xF] ^ MUL_HI[c][x >> 4];
+                assert_eq!(split, MUL[c][x], "half-table mismatch at {c}·{x}");
+            }
+        }
+        assert_eq!(core::mem::size_of_val(&MUL_LO), 4 * 1024);
+        assert_eq!(core::mem::size_of_val(&MUL_HI), 4 * 1024);
     }
 }

@@ -182,13 +182,18 @@ impl MoreAgent {
                 if t.rank() == 0 {
                     return None;
                 }
-                let mut v = CodeVector::zero(k);
-                for i in 0..k {
-                    if let Some(row) = t.row(i) {
+                // One coefficient per stored row, drawn in row order (the
+                // RNG stream is part of determinism), then one batched
+                // combine over the code vectors.
+                let terms: Vec<(gf256::Gf256, &[u8])> = (0..k)
+                    .filter_map(|i| t.row(i))
+                    .map(|row| {
                         let c = gf256::Gf256(rng.gen_range(1..=255u8));
-                        v.mul_add_assign(row, c);
-                    }
-                }
+                        (c, row.as_bytes())
+                    })
+                    .collect();
+                let mut v = CodeVector::zero(k);
+                gf256::slice_ops::axpy_many(v.as_bytes_mut(), &terms);
                 Some((v, Vec::new()))
             }
             BatchState::Coded(b) => b.emit(rng).map(|p| (p.vector, p.payload.to_vec())),

@@ -21,6 +21,23 @@ use gf256::{slice_ops, Gf256};
 use rand::Rng;
 
 /// A forwarder's per-batch coding state.
+///
+/// ```
+/// use more_rlnc::{ForwarderBuffer, SourceEncoder};
+/// use rand::SeedableRng;
+///
+/// let natives: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 32]).collect();
+/// let enc = SourceEncoder::new(natives).unwrap();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+/// let mut fwd = ForwarderBuffer::new(4, 32);
+/// while fwd.rank() < 2 {
+///     fwd.receive(&enc.encode(&mut rng), &mut rng);
+/// }
+/// // The emitted packet spans everything the forwarder has heard.
+/// let p = fwd.emit(&mut rng).unwrap();
+/// assert_eq!(p.k(), 4);
+/// assert!(!p.vector.is_zero());
+/// ```
 #[derive(Clone, Debug)]
 pub struct ForwarderBuffer {
     k: usize,
@@ -109,18 +126,32 @@ impl ForwarderBuffer {
     /// Recomputes the pre-coded packet as a fresh random combination of the
     /// whole pool ("as soon as the transmission starts, a new packet is
     /// pre-coded for this flow and stored for future use").
+    ///
+    /// The combine is two batched [`slice_ops::axpy_many`] passes — one
+    /// over the code vectors, one over the payloads — instead of one
+    /// multiply-accumulate pass per pooled packet.
     pub fn precode<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         if self.pool.is_empty() {
             self.precoded = None;
             return;
         }
+        // One coefficient per pooled packet, drawn in pool order (the RNG
+        // stream is part of the simulator's determinism contract).
+        let coeffs: Vec<Gf256> = self.pool.iter().map(|_| random_nonzero(rng)).collect();
         let mut vec = CodeVector::zero(self.k);
+        let vec_terms: Vec<(Gf256, &[u8])> = coeffs
+            .iter()
+            .zip(&self.pool)
+            .map(|(&c, p)| (c, p.vector.as_bytes()))
+            .collect();
+        slice_ops::axpy_many(vec.as_bytes_mut(), &vec_terms);
         let mut payload = vec![0u8; self.payload_len];
-        for p in &self.pool {
-            let r = random_nonzero(rng);
-            vec.mul_add_assign(&p.vector, r);
-            slice_ops::mul_add_assign(&mut payload, &p.payload, r);
-        }
+        let payload_terms: Vec<(Gf256, &[u8])> = coeffs
+            .iter()
+            .zip(&self.pool)
+            .map(|(&c, p)| (c, &p.payload[..]))
+            .collect();
+        slice_ops::axpy_many(&mut payload, &payload_terms);
         self.precoded = Some((vec, payload));
     }
 

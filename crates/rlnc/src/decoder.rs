@@ -11,6 +11,12 @@
 //! Keeping the matrix reduced as packets arrive is what bounds the work to
 //! "2NS multiplications per packet" instead of a cubic batch-end
 //! elimination.
+//!
+//! Payload arithmetic is batched: the row operations of one `receive` are
+//! composed on the (cheap, K-byte) code-vector side first, then applied to
+//! the payload as a single fused [`slice_ops::axpy_many`] pass. Dependent
+//! packets are rejected from the vector reduction alone, without reading
+//! their payload bytes at all.
 
 use crate::packet::{CodeVector, CodedPacket};
 use crate::CodingError;
@@ -97,10 +103,11 @@ impl Decoder {
             "packet payload length mismatch"
         );
 
+        // Forward-eliminate the code vector alone first: a dependent packet
+        // is detected — and discarded — without touching a single payload
+        // byte.
+        let orig = &p.vector;
         let mut vec = p.vector.clone();
-        let mut payload = p.payload.to_vec();
-
-        // Forward elimination: cancel every coefficient covered by a row.
         let mut pivot = None;
         for i in 0..self.k {
             let ui = vec.coeff(i);
@@ -109,8 +116,12 @@ impl Decoder {
             }
             match &self.rows[i] {
                 Some(row) => {
+                    // Stored rows are fully reduced (each stored pivot
+                    // column is zero in every other row), so reducing here
+                    // never changes a coefficient this loop later reads at
+                    // a stored pivot column.
+                    debug_assert_eq!(ui, orig.coeff(i), "stored rows not fully reduced");
                     vec.mul_add_assign(&row.vector, ui);
-                    slice_ops::mul_add_assign(&mut payload, &row.payload, ui);
                 }
                 None => {
                     pivot = Some(i);
@@ -127,7 +138,6 @@ impl Decoder {
         debug_assert!(!lead.is_zero());
         let inv = lead.inv();
         vec.mul_assign(inv);
-        slice_ops::mul_assign(&mut payload, inv);
         debug_assert_eq!(vec.coeff(pivot), Gf256::ONE);
 
         // Forward-reduce the remainder of the new row against existing rows
@@ -138,10 +148,30 @@ impl Decoder {
                 continue;
             }
             if let Some(row) = &self.rows[i] {
+                debug_assert_eq!(ci, inv * orig.coeff(i), "stored rows not fully reduced");
                 vec.mul_add_assign(&row.vector, ci);
-                slice_ops::mul_add_assign(&mut payload, &row.payload, ci);
             }
         }
+
+        // The payload gets the same row operations, composed into one
+        // batched pass: reduce→normalize→reduce collapses to
+        //     inv·payload  +  Σ_{i≠pivot}  inv·origᵢ · rows[i].payload
+        // because every reduction coefficient above was read at a stored
+        // pivot column, which the fully-reduced stored rows never alter
+        // (the debug_asserts check exactly that).
+        let mut payload = vec![0u8; self.payload_len];
+        slice_ops::mul_into(&mut payload, &p.payload, inv);
+        let terms: Vec<(Gf256, &[u8])> = (0..self.k)
+            .filter(|&i| i != pivot)
+            .filter_map(|i| match &self.rows[i] {
+                Some(row) => {
+                    let c = inv * orig.coeff(i);
+                    (!c.is_zero()).then_some((c, &row.payload[..]))
+                }
+                None => None,
+            })
+            .collect();
+        slice_ops::axpy_many(&mut payload, &terms);
 
         // Back-eliminate the new pivot column from every stored row.
         for i in 0..self.k {

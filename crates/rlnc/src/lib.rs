@@ -33,6 +33,8 @@
 //! assert_eq!(dec.take_natives().unwrap(), natives);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod buffer;
 pub mod decoder;
 pub mod packet;
@@ -49,11 +51,26 @@ pub enum CodingError {
     /// Batch construction was given no packets or packets of unequal length.
     BadBatch(String),
     /// A packet's code vector length does not match the batch size K.
-    VectorLength { expected: usize, got: usize },
+    VectorLength {
+        /// The batch size K the component was built for.
+        expected: usize,
+        /// The offending packet's code vector length.
+        got: usize,
+    },
     /// A packet's payload length does not match the batch payload size.
-    PayloadLength { expected: usize, got: usize },
+    PayloadLength {
+        /// The payload size the component was built for.
+        expected: usize,
+        /// The offending packet's payload length.
+        got: usize,
+    },
     /// Decode requested before rank reached K.
-    Incomplete { rank: usize, k: usize },
+    Incomplete {
+        /// Rank accumulated so far.
+        rank: usize,
+        /// Batch size K required to decode.
+        k: usize,
+    },
 }
 
 impl core::fmt::Display for CodingError {

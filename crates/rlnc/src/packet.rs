@@ -180,22 +180,30 @@ impl SourceEncoder {
 
     /// Emits one coded packet with fresh random coefficients.
     ///
-    /// Cost is K multiply-accumulate passes over the payload — the most
-    /// expensive coding operation in the system (Table 4.1: "the coding cost
-    /// is highest at the source because it has to code all K packets
-    /// together").
+    /// Cost is one batched [`slice_ops::axpy_many`] pass folding all K
+    /// natives into the payload — the most expensive coding operation in
+    /// the system (Table 4.1: "the coding cost is highest at the source
+    /// because it has to code all K packets together").
     pub fn encode<R: Rng + ?Sized>(&self, rng: &mut R) -> CodedPacket {
         let vector = CodeVector::random(self.k(), rng);
         self.encode_with(&vector)
     }
 
     /// Emits the coded packet for a caller-chosen code vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the batch size K.
     pub fn encode_with(&self, vector: &CodeVector) -> CodedPacket {
         assert_eq!(vector.len(), self.k(), "vector length != K");
         let mut payload = vec![0u8; self.payload_len];
-        for (i, native) in self.natives.iter().enumerate() {
-            slice_ops::mul_add_assign(&mut payload, native, vector.coeff(i));
-        }
+        let terms: Vec<(Gf256, &[u8])> = self
+            .natives
+            .iter()
+            .enumerate()
+            .map(|(i, native)| (vector.coeff(i), &native[..]))
+            .collect();
+        slice_ops::axpy_many(&mut payload, &terms);
         CodedPacket {
             vector: vector.clone(),
             payload: Bytes::from(payload),

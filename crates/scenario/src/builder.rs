@@ -22,6 +22,31 @@ use mesh_topology::{NodeId, Topology};
 pub struct Scenario;
 
 impl Scenario {
+    /// Starts a fluent [`ScenarioBuilder`] for a named experiment.
+    ///
+    /// A scenario declares *what* to compare; [`ScenarioBuilder::run`]
+    /// executes the full protocol × sweep × seed × flow-set grid and
+    /// returns one [`RunRecord`] per simulator run:
+    ///
+    /// ```
+    /// use mesh_topology::NodeId;
+    /// use more_scenario::{Scenario, TopologySpec};
+    ///
+    /// let records = Scenario::named("doc")
+    ///     .topology(TopologySpec::Line {
+    ///         hops: 1,
+    ///         p_adj: 0.9,
+    ///         skip_decay: 0.0,
+    ///         spacing: 20.0,
+    ///     })
+    ///     .pair(NodeId(0), NodeId(1))
+    ///     .protocol("MORE")
+    ///     .packets(16)
+    ///     .deadline(60)
+    ///     .run();
+    /// assert_eq!(records.len(), 1);
+    /// assert!(records[0].all_completed());
+    /// ```
     pub fn named(name: impl Into<String>) -> ScenarioBuilder {
         ScenarioBuilder::new(name)
     }

@@ -4,6 +4,9 @@
 //! and show opportunistic routing reviving it: many weak paths beat one
 //! mediocre best path.
 //!
+//! Prints the probe results to stdout and writes the key numbers as JSON
+//! to `results/dead_spot_rescue.json` (the path is printed at the end).
+//!
 //! ```sh
 //! cargo run --release --example dead_spot_rescue
 //! ```
@@ -67,9 +70,20 @@ fn main() {
     );
 
     let (more_tput, n_fwd) = more_throughput(&topo, s, d);
+    let gain = more_tput / srcr_tput.max(0.1);
     println!("MORE on the same pair: {more_tput:.1} pkt/s using {n_fwd} forwarders");
     println!(
-        "opportunistic gain: {:.1}x  (the paper reports challenged flows gaining up to 10-12x)",
-        more_tput / srcr_tput.max(0.1)
+        "opportunistic gain: {gain:.1}x  (the paper reports challenged flows gaining up to 10-12x)"
     );
+
+    let out_path = "results/dead_spot_rescue.json";
+    let json = format!(
+        "{{\n  \"src\": {}, \"dst\": {}, \"hops\": {},\n  \"srcr_pkt_per_s\": {srcr_tput:.2},\n  \"more_pkt_per_s\": {more_tput:.2},\n  \"more_forwarders\": {n_fwd},\n  \"gain\": {gain:.2}\n}}\n",
+        s.0,
+        d.0,
+        topo.hop_count(s, d).expect("reachable"),
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write(out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("\nkey numbers written to {out_path}");
 }

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use rand::{Rng, RngCore};
 use std::ops::Range;
 
-/// Accepted sizes for [`vec`]: a fixed length or a range of lengths.
+/// Accepted sizes for [`vec()`]: a fixed length or a range of lengths.
 pub trait SizeRange {
     fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize;
 }
