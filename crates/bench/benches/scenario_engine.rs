@@ -8,7 +8,7 @@
 //! work — and measure a whole scenario grid end-to-end.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mesh_sim::{Erased, ErasedFlowAgent, SimConfig, Simulator, SEC};
+use mesh_sim::{ChannelSpec, Erased, ErasedFlowAgent, SimConfig, Simulator, SEC};
 use mesh_topology::{generate, NodeId};
 use more_core::{MoreAgent, MoreConfig};
 use more_scenario::{Scenario, TopologySpec, TrafficSpec};
@@ -51,6 +51,35 @@ fn bench_direct_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Channel-model cost: the same MORE transfer on static air (the
+/// trait-dispatched default, which must stay at pre-channel speed) and
+/// on bursty Gilbert–Elliott air (adds per-epoch state evolution).
+fn bench_channel_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_engine/channel");
+    let topo = line();
+    let specs = [
+        ("static", ChannelSpec::Static),
+        (
+            "gilbert_elliott",
+            ChannelSpec::bursty_matched(0.0, 0.05, 0.2, 10),
+        ),
+    ];
+    for (name, spec) in specs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut agent = MoreAgent::new(topo.clone(), MoreConfig::default());
+                agent.add_flow(1, NodeId(0), NodeId(3), PACKETS);
+                let mut sim =
+                    Simulator::with_channel(topo.clone(), SimConfig::default(), &spec, agent, 1);
+                sim.kick(NodeId(0));
+                sim.run_until(600 * SEC, |a: &MoreAgent| a.all_done());
+                black_box(sim.stats.total_tx())
+            })
+        });
+    }
+    group.finish();
+}
+
 /// A small three-protocol grid through the full builder machinery.
 fn bench_scenario_grid(c: &mut Criterion) {
     let mut group = c.benchmark_group("scenario_engine/grid");
@@ -76,5 +105,10 @@ fn bench_scenario_grid(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(scenario_engine, bench_direct_dispatch, bench_scenario_grid);
+criterion_group!(
+    scenario_engine,
+    bench_direct_dispatch,
+    bench_channel_models,
+    bench_scenario_grid
+);
 criterion_main!(scenario_engine);

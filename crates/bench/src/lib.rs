@@ -30,7 +30,7 @@ use more_scenario::{Scenario, TopologySpec, TrafficSpec};
 use std::sync::Arc;
 
 pub use more_scenario::{
-    random_pairs, ExpConfig, ProtocolFactory, ProtocolRegistry, RunRecord, Sweep,
+    random_pairs, ChannelSpec, ExpConfig, ProtocolFactory, ProtocolRegistry, RunRecord, Sweep,
 };
 
 /// The paper's three-way comparison, in plotting order.

@@ -57,14 +57,21 @@ pub trait FlowAgent: NodeAgent {
 /// Object-safe [`FlowAgent`] with erased payloads. This is the type the
 /// protocol registry traffics in: `Box<dyn ErasedFlowAgent>`.
 pub trait ErasedFlowAgent {
+    /// [`NodeAgent::on_receive`] over the erased payload.
     fn on_receive(&mut self, node: NodeId, frame: &Frame<DynPayload>, ctx: &mut Ctx<'_>);
+    /// [`NodeAgent::on_tx_done`], unchanged.
     fn on_tx_done(&mut self, node: NodeId, outcome: TxOutcome, ctx: &mut Ctx<'_>);
+    /// [`NodeAgent::poll_tx`] over the erased payload.
     fn poll_tx(&mut self, node: NodeId, ctx: &mut Ctx<'_>) -> Option<OutFrame<DynPayload>>;
+    /// [`NodeAgent::on_timer`], unchanged.
     fn on_timer(&mut self, node: NodeId, token: u64, ctx: &mut Ctx<'_>);
+    /// [`FlowAgent::flows_done`], unchanged.
     fn flows_done(&self) -> bool;
+    /// [`FlowAgent::flow_progress`], unchanged.
     fn flow_progress(&self, index: usize) -> FlowProgressView;
     /// Downcast access to the concrete agent (protocol-specific stats).
     fn as_any(&self) -> &dyn Any;
+    /// Mutable downcast access to the concrete agent.
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 

@@ -6,8 +6,11 @@
 //!
 //! * **broadcast medium with independent per-receiver losses** — each
 //!   transmission is delivered to each potential receiver by an
-//!   independent Bernoulli draw at the link's delivery probability
-//!   (the §5.3.1 network model);
+//!   independent Bernoulli draw at the link's *instantaneous* delivery
+//!   probability, supplied by a pluggable [`channel::ChannelModel`]
+//!   (the default [`channel::ChannelSpec::Static`] is the §5.3.1 network
+//!   model; Gilbert–Elliott burst loss, log-normal shadowing, and slow
+//!   time-varying drift ship alongside it);
 //! * **CSMA/CA medium access** — DIFS + slotted random backoff, binary
 //!   exponential contention window growth on unicast retries, MAC-level
 //!   ACKs, and half-duplex radios;
@@ -28,13 +31,17 @@
 //! receptions through `on_receive`, and reports transmit outcomes through
 //! `on_tx_done`. Everything is deterministic in the seed.
 
+#![deny(missing_docs)]
+
 pub mod autorate;
+pub mod channel;
 pub mod erased;
 pub mod medium;
 pub mod simulator;
 pub mod stats;
 
 pub use autorate::OnoeAutorate;
+pub use channel::{ChannelModel, ChannelSpec};
 pub use erased::{DynPayload, Erased, ErasedFlowAgent, FlowAgent, FlowProgressView};
 pub use medium::Medium;
 pub use simulator::{Ctx, Simulator};
@@ -194,9 +201,15 @@ pub enum TxOutcome {
     /// Broadcast completed (broadcasts are fire-and-forget).
     Broadcast,
     /// Unicast was MAC-acknowledged after `retries` retransmissions.
-    Acked { retries: u32 },
+    Acked {
+        /// Retransmissions before the ACK arrived.
+        retries: u32,
+    },
     /// Unicast exhausted the retry limit.
-    Failed { retries: u32 },
+    Failed {
+        /// Retransmissions attempted before giving up.
+        retries: u32,
+    },
 }
 
 /// A protocol running on every node of the simulated mesh.

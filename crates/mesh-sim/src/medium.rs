@@ -1,11 +1,13 @@
 //! The shared wireless medium: who senses whom, who interferes at whom,
 //! and which receivers decode a finished transmission.
 //!
-//! Sensing and interference relations are precomputed from the topology:
-//! any directed link (`p > 0`, either direction) is both sensable and
-//! interfering; when node positions are known, the carrier-sense and
-//! interference *ranges* extend those relations beyond decodable links
-//! (real radios defer to, and are jammed by, signals too weak to decode).
+//! Sensing and interference relations are precomputed from the topology
+//! and the run's channel model: any directed link (`p > 0` in the matrix,
+//! or reachable under the channel per [`ChannelModel::may_reach`], either
+//! direction) is both sensable and interfering; when node positions are
+//! known, the carrier-sense and interference *ranges* extend those
+//! relations beyond decodable links (real radios defer to, and are jammed
+//! by, signals too weak to decode).
 //!
 //! Reception is evaluated when a transmission ends:
 //!
@@ -16,9 +18,11 @@
 //!    the frame's delivery probability exceeds `capture_ratio ×` the
 //!    strongest overlapping interferer's (a delivery-probability proxy for
 //!    SINR);
-//! 3. loss — surviving frames are delivered with the link's probability,
-//!    independently per receiver (§5.3.1 model).
+//! 3. loss — surviving frames are delivered with the link's *instantaneous*
+//!    probability as reported by the run's [`ChannelModel`], independently
+//!    per receiver (the §5.3.1 model when the channel is static).
 
+use crate::channel::ChannelModel;
 use crate::{SimConfig, Time};
 use mesh_topology::{NodeId, Topology};
 use rand::Rng;
@@ -26,9 +30,13 @@ use rand::Rng;
 /// A transmission on the air (or recently finished).
 #[derive(Clone, Debug)]
 pub struct Transmission {
+    /// Engine-assigned transmission id.
     pub id: u64,
+    /// The transmitting node.
     pub tx: NodeId,
+    /// Airtime start, µs.
     pub start: Time,
+    /// Airtime end, µs.
     pub end: Time,
 }
 
@@ -47,8 +55,11 @@ pub struct Medium {
 }
 
 impl Medium {
-    /// Builds the medium for `topo` under `cfg`.
-    pub fn new(topo: &Topology, cfg: &SimConfig) -> Self {
+    /// Builds the medium for `topo` under `cfg`, with `chan` supplying
+    /// reachability beyond the static matrix (matrix-backed channels add
+    /// nothing; shadowing extends the relations to every pair that could
+    /// plausibly decode).
+    pub fn new(topo: &Topology, cfg: &SimConfig, chan: &dyn ChannelModel) -> Self {
         let n = topo.n();
         let mut sense = vec![vec![false; n]; n];
         let mut interfere = vec![vec![false; n]; n];
@@ -58,7 +69,9 @@ impl Medium {
                     continue;
                 }
                 let linked = topo.delivery(NodeId(a), NodeId(b)) > 0.0
-                    || topo.delivery(NodeId(b), NodeId(a)) > 0.0;
+                    || topo.delivery(NodeId(b), NodeId(a)) > 0.0
+                    || chan.may_reach(NodeId(a), NodeId(b))
+                    || chan.may_reach(NodeId(b), NodeId(a));
                 let (in_cs, in_int) = match topo.positions() {
                     Some(pos) => {
                         let d = pos[a].distance(&pos[b], 10.0);
@@ -126,14 +139,16 @@ impl Medium {
 
     /// Evaluates which nodes decode transmission `id` (call at its end).
     ///
-    /// Returns the receiver set; draws per-receiver Bernoulli losses from
-    /// `rng`. `collisions`/`captures` counters are incremented for the
-    /// stats module.
+    /// Delivery probabilities — the frame's own and each interferer's in
+    /// the capture rule — are the channel model's instantaneous values at
+    /// the frame's end time. Returns the receiver set; draws per-receiver
+    /// Bernoulli losses from `rng`. `collisions`/`captures` counters are
+    /// incremented for the stats module.
     #[allow(clippy::too_many_arguments)]
     pub fn evaluate_reception(
         &self,
         id: u64,
-        topo: &Topology,
+        chan: &dyn ChannelModel,
         cfg: &SimConfig,
         rng: &mut impl Rng,
         collisions: &mut u64,
@@ -144,13 +159,14 @@ impl Medium {
             .iter()
             .find(|t| t.id == id)
             .expect("evaluating unknown transmission");
+        let now = f.end;
         let mut out = Vec::new();
         for r in 0..self.n {
             let r = NodeId(r);
             if r == f.tx {
                 continue;
             }
-            let p = topo.delivery(f.tx, r);
+            let p = chan.delivery(f.tx, r, now);
             if p <= 0.0 {
                 continue;
             }
@@ -165,7 +181,7 @@ impl Medium {
                 .iter()
                 .filter(|t| t.id != f.id && t.tx != r && overlaps(t, f))
                 .filter(|t| self.interferes(t.tx, r))
-                .map(|t| topo.delivery(t.tx, r).max(0.05))
+                .map(|t| chan.delivery(t.tx, r, now).max(0.05))
                 .fold(0.0, f64::max);
             if strongest > 0.0 {
                 *collisions += 1;
@@ -215,12 +231,18 @@ fn overlaps(a: &Transmission, b: &Transmission) -> bool {
 #[cfg(test)]
 mod test {
     use super::*;
+    use crate::channel::ChannelSpec;
     use mesh_topology::generate;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
     fn cfg() -> SimConfig {
         SimConfig::default()
+    }
+
+    /// The static channel over `t`, as the engine would build it.
+    fn chan(t: &Topology) -> Box<dyn ChannelModel> {
+        ChannelSpec::Static.build(t, 0)
     }
 
     fn line5() -> Topology {
@@ -232,7 +254,8 @@ mod test {
     #[test]
     fn sense_relations_follow_links_and_range() {
         let t = line5();
-        let m = Medium::new(&t, &cfg());
+        let ch = chan(&t);
+        let m = Medium::new(&t, &cfg(), ch.as_ref());
         assert!(m.senses(NodeId(0), NodeId(1))); // linked
         assert!(!m.senses(NodeId(0), NodeId(2))); // 60 m: no link, out of CS range
         assert!(!m.senses(NodeId(0), NodeId(4))); // 120 m
@@ -242,7 +265,8 @@ mod test {
     #[test]
     fn busy_only_within_sense_range() {
         let t = line5();
-        let mut m = Medium::new(&t, &cfg());
+        let ch = chan(&t);
+        let mut m = Medium::new(&t, &cfg(), ch.as_ref());
         m.begin(Transmission {
             id: 1,
             tx: NodeId(0),
@@ -260,19 +284,20 @@ mod test {
     #[test]
     fn reception_is_bernoulli_at_link_probability() {
         let t = generate::line(1, 0.7, 0.0, 20.0);
+        let ch = chan(&t);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut got = 0;
         let trials = 4000;
         let (mut col, mut cap) = (0, 0);
         for i in 0..trials {
-            let mut m = Medium::new(&t, &cfg());
+            let mut m = Medium::new(&t, &cfg(), ch.as_ref());
             m.begin(Transmission {
                 id: i,
                 tx: NodeId(0),
                 start: 0,
                 end: 100,
             });
-            let rx = m.evaluate_reception(i, &t, &cfg(), &mut rng, &mut col, &mut cap);
+            let rx = m.evaluate_reception(i, ch.as_ref(), &cfg(), &mut rng, &mut col, &mut cap);
             got += rx.len();
         }
         let rate = got as f64 / trials as f64;
@@ -291,8 +316,9 @@ mod test {
                 vec![0.0, 0.9, 0.0],
             ],
         );
+        let ch = chan(&t);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let mut m = Medium::new(&t, &cfg());
+        let mut m = Medium::new(&t, &cfg(), ch.as_ref());
         m.begin(Transmission {
             id: 1,
             tx: NodeId(0),
@@ -306,8 +332,8 @@ mod test {
             end: 150,
         });
         let (mut col, mut cap) = (0, 0);
-        let rx1 = m.evaluate_reception(1, &t, &cfg(), &mut rng, &mut col, &mut cap);
-        let rx2 = m.evaluate_reception(2, &t, &cfg(), &mut rng, &mut col, &mut cap);
+        let rx1 = m.evaluate_reception(1, ch.as_ref(), &cfg(), &mut rng, &mut col, &mut cap);
+        let rx2 = m.evaluate_reception(2, ch.as_ref(), &cfg(), &mut rng, &mut col, &mut cap);
         assert!(rx1.is_empty(), "frame 1 should be destroyed at node 1");
         assert!(rx2.is_empty(), "frame 2 should be destroyed at node 1");
         assert_eq!(col, 2);
@@ -326,11 +352,12 @@ mod test {
                 vec![0.0, 0.2, 0.0],
             ],
         );
+        let ch = chan(&t);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let mut wins = 0;
         let trials = 2000;
         for i in 0..trials {
-            let mut m = Medium::new(&t, &cfg());
+            let mut m = Medium::new(&t, &cfg(), ch.as_ref());
             m.begin(Transmission {
                 id: 2 * i,
                 tx: NodeId(0),
@@ -344,7 +371,7 @@ mod test {
                 end: 110,
             });
             let (mut col, mut cap) = (0, 0);
-            let rx = m.evaluate_reception(2 * i, &t, &cfg(), &mut rng, &mut col, &mut cap);
+            let rx = m.evaluate_reception(2 * i, ch.as_ref(), &cfg(), &mut rng, &mut col, &mut cap);
             if !rx.is_empty() {
                 wins += 1;
                 assert_eq!(cap, 1);
@@ -357,8 +384,9 @@ mod test {
     #[test]
     fn half_duplex_blocks_reception() {
         let t = generate::line(1, 1.0, 0.0, 20.0);
+        let ch = chan(&t);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let mut m = Medium::new(&t, &cfg());
+        let mut m = Medium::new(&t, &cfg(), ch.as_ref());
         // Node 1 transmits while node 0's frame is on the air.
         m.begin(Transmission {
             id: 1,
@@ -373,15 +401,16 @@ mod test {
             end: 120,
         });
         let (mut col, mut cap) = (0, 0);
-        let rx = m.evaluate_reception(1, &t, &cfg(), &mut rng, &mut col, &mut cap);
+        let rx = m.evaluate_reception(1, ch.as_ref(), &cfg(), &mut rng, &mut col, &mut cap);
         assert!(rx.is_empty(), "half-duplex node 1 must not receive");
     }
 
     #[test]
     fn non_overlapping_frames_do_not_collide() {
         let t = generate::line(1, 1.0, 0.0, 20.0);
+        let ch = chan(&t);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let mut m = Medium::new(&t, &cfg());
+        let mut m = Medium::new(&t, &cfg(), ch.as_ref());
         m.begin(Transmission {
             id: 1,
             tx: NodeId(0),
@@ -395,7 +424,132 @@ mod test {
             end: 200,
         });
         let (mut col, mut cap) = (0, 0);
-        let rx = m.evaluate_reception(1, &t, &cfg(), &mut rng, &mut col, &mut cap);
+        let rx = m.evaluate_reception(1, ch.as_ref(), &cfg(), &mut rng, &mut col, &mut cap);
+        assert_eq!(rx, vec![NodeId(1)]);
+        assert_eq!(col, 0);
+    }
+
+    #[test]
+    fn shadowing_channel_extends_sense_and_interference() {
+        // Nodes 0 and 2 sit 60 m apart: no matrix link, outside the fixed
+        // carrier-sense (42 m) and interference (38 m) ranges. A shadowing
+        // channel can still deliver at that distance (+3σ shadow), so the
+        // pair must sense and interfere — otherwise a link carrying real
+        // frames could never collide or defer.
+        let t = line5();
+        let static_ch = chan(&t);
+        let m = Medium::new(&t, &cfg(), static_ch.as_ref());
+        assert!(!m.senses(NodeId(0), NodeId(2)), "static: out of range");
+
+        let shadow = ChannelSpec::Shadowing {
+            path_loss_exp: 3.0,
+            sigma_db: 8.0,
+            midpoint_m: 40.0,
+            epoch_ms: 100,
+        }
+        .build(&t, 0);
+        assert!(shadow.may_reach(NodeId(0), NodeId(2)));
+        let m = Medium::new(&t, &cfg(), shadow.as_ref());
+        assert!(m.senses(NodeId(0), NodeId(2)));
+        assert!(m.interferes(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn capture_ratio_boundary_is_inclusive() {
+        // Destruction requires p < ratio × strongest, so a frame sitting
+        // exactly on the boundary survives (and counts as a capture).
+        let t = mesh_topology::Topology::from_matrix(
+            "edge",
+            vec![
+                vec![0.0, 1.0, 0.0],
+                vec![1.0, 0.0, 0.5],
+                vec![0.0, 0.5, 0.0],
+            ],
+        );
+        let ch = chan(&t);
+        let mut cfg = cfg();
+        cfg.capture_ratio = 2.0; // threshold = 2.0 × 0.5 = 1.0 == p
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut m = Medium::new(&t, &cfg, ch.as_ref());
+        m.begin(Transmission {
+            id: 1,
+            tx: NodeId(0),
+            start: 0,
+            end: 100,
+        });
+        m.begin(Transmission {
+            id: 2,
+            tx: NodeId(2),
+            start: 10,
+            end: 110,
+        });
+        let (mut col, mut cap) = (0, 0);
+        let rx = m.evaluate_reception(1, ch.as_ref(), &cfg, &mut rng, &mut col, &mut cap);
+        assert_eq!(rx, vec![NodeId(1)], "p == ratio × strongest survives");
+        assert_eq!((col, cap), (1, 1));
+
+        // One hair past the boundary destroys the frame.
+        cfg.capture_ratio = 2.0 + 1e-9;
+        let (mut col, mut cap) = (0, 0);
+        let rx = m.evaluate_reception(1, ch.as_ref(), &cfg, &mut rng, &mut col, &mut cap);
+        assert!(rx.is_empty(), "p < ratio × strongest is destroyed");
+        assert_eq!((col, cap), (1, 0));
+    }
+
+    #[test]
+    fn one_microsecond_of_overlap_collides() {
+        // Intervals are half-open: [0, 100) and [99, 199) share 1 µs.
+        let t = mesh_topology::Topology::from_matrix(
+            "y",
+            vec![
+                vec![0.0, 0.9, 0.0],
+                vec![0.9, 0.0, 0.9],
+                vec![0.0, 0.9, 0.0],
+            ],
+        );
+        let ch = chan(&t);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut m = Medium::new(&t, &cfg(), ch.as_ref());
+        m.begin(Transmission {
+            id: 1,
+            tx: NodeId(0),
+            start: 0,
+            end: 100,
+        });
+        m.begin(Transmission {
+            id: 2,
+            tx: NodeId(2),
+            start: 99,
+            end: 199,
+        });
+        let (mut col, mut cap) = (0, 0);
+        let rx = m.evaluate_reception(1, ch.as_ref(), &cfg(), &mut rng, &mut col, &mut cap);
+        assert!(rx.is_empty(), "equal-strength 1 µs overlap destroys both");
+        assert_eq!(col, 1);
+    }
+
+    #[test]
+    fn half_duplex_clears_when_own_tx_only_touches_the_frame_edge() {
+        // Node 1's own transmission ends exactly when node 0's frame
+        // starts: half-open intervals do not overlap, so node 1 receives.
+        let t = generate::line(1, 1.0, 0.0, 20.0);
+        let ch = chan(&t);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut m = Medium::new(&t, &cfg(), ch.as_ref());
+        m.begin(Transmission {
+            id: 1,
+            tx: NodeId(1),
+            start: 0,
+            end: 100,
+        });
+        m.begin(Transmission {
+            id: 2,
+            tx: NodeId(0),
+            start: 100,
+            end: 200,
+        });
+        let (mut col, mut cap) = (0, 0);
+        let rx = m.evaluate_reception(2, ch.as_ref(), &cfg(), &mut rng, &mut col, &mut cap);
         assert_eq!(rx, vec![NodeId(1)]);
         assert_eq!(col, 0);
     }
@@ -403,7 +557,8 @@ mod test {
     #[test]
     fn prune_retains_recent() {
         let t = generate::line(1, 1.0, 0.0, 20.0);
-        let mut m = Medium::new(&t, &cfg());
+        let ch = chan(&t);
+        let mut m = Medium::new(&t, &cfg(), ch.as_ref());
         m.begin(Transmission {
             id: 1,
             tx: NodeId(0),

@@ -21,6 +21,7 @@
 //! collide); broadcasts are fire-and-forget (802.11 semantics — the basis
 //! of both MORE's and ExOR's designs).
 
+use crate::channel::{ChannelModel, ChannelSpec};
 use crate::medium::{Medium, Transmission};
 use crate::stats::SimStats;
 use crate::{Frame, NodeAgent, OutFrame, SimConfig, Time, TxOutcome};
@@ -114,26 +115,61 @@ enum InFlight<P> {
 pub struct Simulator<A: NodeAgent> {
     topo: Topology,
     cfg: SimConfig,
+    /// The protocol under simulation.
     pub agent: A,
     now: Time,
     seq: u64,
     queue: BinaryHeap<Reverse<(Time, u64, EventKind)>>,
     rng: ChaCha8Rng,
     medium: Medium,
+    channel: Box<dyn ChannelModel>,
     states: Vec<MacState>,
     current: Vec<Option<CurrentTx<A::Payload>>>,
     /// Generation counters for ACK timeouts.
     ack_seq: Vec<u64>,
     in_flight: std::collections::HashMap<u64, InFlight<A::Payload>>,
     next_tx_id: u64,
+    /// Counters accumulated over the run.
     pub stats: SimStats,
 }
 
 impl<A: NodeAgent> Simulator<A> {
-    /// Builds a simulator over `topo` for `agent`, deterministic in `seed`.
+    /// Builds a simulator over `topo` for `agent`, deterministic in `seed`,
+    /// with the paper's static channel (the topology's delivery matrix).
     pub fn new(topo: Topology, cfg: SimConfig, agent: A, seed: u64) -> Self {
+        Simulator::with_channel(topo, cfg, &ChannelSpec::Static, agent, seed)
+    }
+
+    /// Builds a simulator whose air follows `spec` (see
+    /// [`crate::channel`]). A run is a pure function of
+    /// `(topology, agent, seed, channel)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `spec` is invalid for `topo` (see
+    /// [`ChannelSpec::validate`]).
+    pub fn with_channel(
+        topo: Topology,
+        cfg: SimConfig,
+        spec: &ChannelSpec,
+        agent: A,
+        seed: u64,
+    ) -> Self {
+        let channel = spec.build(&topo, seed);
+        Simulator::with_channel_model(topo, cfg, channel, agent, seed)
+    }
+
+    /// Builds a simulator over a caller-constructed channel model — the
+    /// escape hatch for loss processes [`ChannelSpec`] cannot express.
+    pub fn with_channel_model(
+        topo: Topology,
+        cfg: SimConfig,
+        channel: Box<dyn ChannelModel>,
+        agent: A,
+        seed: u64,
+    ) -> Self {
         let n = topo.n();
-        let medium = Medium::new(&topo, &cfg);
+        let medium = Medium::new(&topo, &cfg, channel.as_ref());
         Simulator {
             topo,
             cfg,
@@ -143,6 +179,7 @@ impl<A: NodeAgent> Simulator<A> {
             queue: BinaryHeap::new(),
             rng: ChaCha8Rng::seed_from_u64(seed),
             medium,
+            channel,
             states: (0..n).map(|_| MacState::Idle).collect(),
             current: (0..n).map(|_| None).collect(),
             ack_seq: vec![0; n],
@@ -150,6 +187,11 @@ impl<A: NodeAgent> Simulator<A> {
             next_tx_id: 0,
             stats: SimStats::new(n),
         }
+    }
+
+    /// The channel model driving this run's losses.
+    pub fn channel(&self) -> &dyn ChannelModel {
+        self.channel.as_ref()
     }
 
     /// Current simulated time.
@@ -348,10 +390,12 @@ impl<A: NodeAgent> Simulator<A> {
         let Some(in_flight) = self.in_flight.remove(&id) else {
             return;
         };
+        // Let the channel evolve to the frame's end before judging it.
+        self.channel.tick(self.now);
         let (mut collisions, mut captures) = (0, 0);
         let receivers = self.medium.evaluate_reception(
             id,
-            &self.topo,
+            self.channel.as_ref(),
             &self.cfg,
             &mut self.rng,
             &mut collisions,

@@ -6,11 +6,26 @@
 //! measurement process: each directed link's estimate is the empirical
 //! success rate of `probes` Bernoulli trials at the true probability —
 //! binomially distributed noise, exactly what a real prober sees.
+//!
+//! [`LinkEstimator::estimate`] probes a *static* truth matrix.
+//! [`LinkEstimator::estimate_live`] is the windowed-probe mode: probe
+//! rounds are spaced in time and each round samples an
+//! instantaneous-delivery callback, so ETX/EOTX inputs can be measured
+//! from a live, time-varying channel (`mesh_sim::channel`) rather than
+//! read off the matrix — separating what the routing layer *believes*
+//! from what the air *does*.
 
-use crate::Topology;
+use crate::{NodeId, Topology};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// XOR'd into the seed of [`LinkEstimator::estimate_live`] so probe draws
+/// get their own ChaCha8 stream: callers pass the *run* seed (the probe
+/// window previews that run's channel), and without the separation the
+/// probe's Bernoulli draws would be bit-identical to the run's early
+/// MAC/loss draws, correlating measured beliefs with actual outcomes.
+const PROBE_STREAM: u64 = 0x9B0B_E57A_11E5_7331;
 
 /// Configuration for the probing process.
 #[derive(Clone, Copy, Debug)]
@@ -62,6 +77,79 @@ impl LinkEstimator {
                 let est = successes as f64 / self.probes as f64;
                 if est >= self.min_delivery {
                     m[i][j] = est;
+                }
+            }
+        }
+        let mut t = Topology::from_matrix(format!("{}-est", truth.name), m);
+        if let Some(pos) = truth.positions() {
+            t = t.with_positions(pos.to_vec());
+        }
+        t
+    }
+
+    /// Windowed probing of a live channel: `probes` rounds, one every
+    /// `interval_us` simulated microseconds, each sampling
+    /// `delivery_at(tx, rx, now)` for every ordered node pair (a real
+    /// prober broadcasts and everyone listens — channels like shadowing
+    /// can carry links the static matrix never had) and drawing one
+    /// Bernoulli probe at that instantaneous probability.
+    ///
+    /// The estimate of a link is its success rate over the whole window —
+    /// a bursty channel that averages to the static matrix yields the same
+    /// beliefs in expectation, while a drifting one leaves routing behind
+    /// the truth. Deterministic in `seed`; probe draws use their own
+    /// stream (`seed ^ PROBE_STREAM`), independent of both the run's main
+    /// RNG and whatever stream the callback's channel model owns. Links
+    /// estimated below `min_delivery` are dropped, as in
+    /// [`LinkEstimator::estimate`].
+    ///
+    /// ```
+    /// use mesh_topology::estimator::LinkEstimator;
+    /// use mesh_topology::generate;
+    ///
+    /// let truth = generate::line(2, 0.8, 0.0, 30.0);
+    /// let est = LinkEstimator { probes: 2000, min_delivery: 0.05 };
+    /// // A static closure reduces to the classic estimator's behaviour.
+    /// let believed = est.estimate_live(&truth, 7, 1_000, |tx, rx, _now| {
+    ///     truth.delivery(tx, rx)
+    /// });
+    /// assert!((believed.delivery(0.into(), 1.into()) - 0.8).abs() < 0.05);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when `probes` is zero.
+    pub fn estimate_live(
+        &self,
+        truth: &Topology,
+        seed: u64,
+        interval_us: u64,
+        mut delivery_at: impl FnMut(NodeId, NodeId, u64) -> f64,
+    ) -> Topology {
+        assert!(self.probes > 0, "need at least one probe");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ PROBE_STREAM);
+        let n = truth.n();
+        let mut successes = vec![0u32; n * n];
+        for round in 0..self.probes {
+            let now = round as u64 * interval_us;
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let p = delivery_at(NodeId(i), NodeId(j), now);
+                    if rng.gen::<f64>() < p {
+                        successes[i * n + j] += 1;
+                    }
+                }
+            }
+        }
+        let mut m = vec![vec![0.0; n]; n];
+        for (i, row) in m.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                let est = successes[i * n + j] as f64 / self.probes as f64;
+                if est >= self.min_delivery {
+                    *cell = est;
                 }
             }
         }
@@ -138,6 +226,53 @@ mod test {
                 }
             }
         }
+    }
+
+    #[test]
+    fn windowed_probing_averages_a_flapping_link() {
+        // The link alternates 1.0 / 0.0 every second; the window mean is 0.5.
+        let truth = generate::line(1, 0.9, 0.0, 30.0);
+        let est = LinkEstimator {
+            probes: 4000,
+            min_delivery: 0.05,
+        };
+        let believed = est.estimate_live(&truth, 3, 1_000_000, |_, _, now| {
+            if (now / 1_000_000).is_multiple_of(2) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let e = believed.delivery(crate::NodeId(0), crate::NodeId(1));
+        assert!((e - 0.5).abs() < 0.02, "windowed mean {e} should be ≈ 0.5");
+    }
+
+    #[test]
+    fn windowed_probing_is_deterministic_in_seed() {
+        let truth = generate::testbed(1);
+        let est = LinkEstimator {
+            probes: 120,
+            min_delivery: 0.05,
+        };
+        let probe =
+            |t: &Topology, seed| est.estimate_live(t, seed, 1_000, |tx, rx, _| t.delivery(tx, rx));
+        let a = probe(&truth, 9);
+        let b = probe(&truth, 9);
+        let c = probe(&truth, 10);
+        assert_eq!(a.matrix(), b.matrix());
+        assert_ne!(a.matrix(), c.matrix());
+    }
+
+    #[test]
+    fn windowed_probing_hears_links_beyond_the_matrix() {
+        // The live channel carries a link the static matrix lacks.
+        let truth = Topology::from_matrix("bare", vec![vec![0.0, 0.9], vec![0.0, 0.0]]);
+        let est = LinkEstimator {
+            probes: 400,
+            min_delivery: 0.05,
+        };
+        let believed = est.estimate_live(&truth, 1, 1_000, |_, _, _| 0.8);
+        assert!(believed.delivery(crate::NodeId(1), crate::NodeId(0)) > 0.7);
     }
 
     #[test]

@@ -166,11 +166,17 @@ pub fn diamond_roles(k: usize) -> (NodeId, NodeId, NodeId, Vec<NodeId>, NodeId) 
 /// routing tables anyway.
 #[derive(Clone, Copy, Debug)]
 pub struct RadioModel {
+    /// Distance at which mean delivery is 50%, meters.
     pub half_distance: f64,
+    /// Width of the logistic delivery-vs-distance slope, meters.
     pub spread: f64,
+    /// Extra effective meters added per floor of separation.
     pub floor_penalty: f64,
+    /// Standard deviation of the per-link shadowing term, meters.
     pub shadowing_sigma: f64,
+    /// Links below this delivery probability are removed.
     pub min_delivery: f64,
+    /// Ceiling on any link's delivery probability.
     pub max_delivery: f64,
 }
 
@@ -266,9 +272,13 @@ pub fn scatter_positions(
 /// Statistics a generated testbed must satisfy to stand in for §4.1.
 #[derive(Clone, Copy, Debug)]
 pub struct TestbedTargets {
+    /// Minimum acceptable mean link loss.
     pub mean_loss_lo: f64,
+    /// Maximum acceptable mean link loss.
     pub mean_loss_hi: f64,
+    /// Minimum acceptable network diameter, hops.
     pub max_hops_lo: usize,
+    /// Maximum acceptable network diameter, hops.
     pub max_hops_hi: usize,
 }
 

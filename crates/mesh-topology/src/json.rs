@@ -10,15 +10,22 @@ use std::fmt;
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Value {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any JSON number (always parsed as `f64`).
     Num(f64),
+    /// A string, unescaped.
     Str(String),
+    /// An array.
     Arr(Vec<Value>),
+    /// An object, as ordered key–value pairs.
     Obj(Vec<(String, Value)>),
 }
 
 impl Value {
+    /// Looks up `key` in an object; `None` for other value kinds.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
             Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
@@ -26,6 +33,7 @@ impl Value {
         }
     }
 
+    /// The numeric value, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
@@ -33,6 +41,7 @@ impl Value {
         }
     }
 
+    /// The string contents, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -40,6 +49,7 @@ impl Value {
         }
     }
 
+    /// The elements, if this is an array.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(v) => Some(v),
@@ -51,7 +61,9 @@ impl Value {
 /// Parse failure with a byte offset.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JsonError {
+    /// Byte offset of the failure in the input.
     pub offset: usize,
+    /// Human-readable description.
     pub message: String,
 }
 
@@ -63,6 +75,7 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Parses one JSON document (the whole input must be consumed).
 pub fn parse(input: &str) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),

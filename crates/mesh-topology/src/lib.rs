@@ -15,6 +15,8 @@
 //! probing-based link estimator that stands in for Roofnet's ETX
 //! measurement module is in [`estimator`].
 
+#![deny(missing_docs)]
+
 pub mod estimator;
 pub mod generate;
 pub mod json;
@@ -40,8 +42,11 @@ impl From<usize> for NodeId {
 /// Physical position in meters; `floor` is the building storey.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct Position {
+    /// East–west coordinate, meters.
     pub x: f64,
+    /// North–south coordinate, meters.
     pub y: f64,
+    /// Building storey the node sits on.
     pub floor: i32,
 }
 
@@ -59,7 +64,9 @@ impl Position {
 /// A directed wireless link with its delivery probability.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Link {
+    /// Transmitting endpoint.
     pub from: NodeId,
+    /// Receiving endpoint.
     pub to: NodeId,
     /// Marginal probability that a frame from `from` is decoded by `to`.
     pub delivery: f64,

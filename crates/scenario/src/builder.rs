@@ -15,7 +15,8 @@ use crate::exec;
 use crate::record::{time_to_s, FlowRecord, RunRecord};
 use crate::registry::{BuildError, ProtocolRegistry};
 use crate::spec::{scale_loss, ExpConfig, FlowSpec, Sweep, TopologySpec, TrafficSpec};
-use mesh_sim::{Bitrate, ErasedFlowAgent, SimConfig, Simulator, SEC};
+use mesh_sim::{Bitrate, ChannelSpec, ErasedFlowAgent, SimConfig, Simulator, SEC};
+use mesh_topology::estimator::LinkEstimator;
 use mesh_topology::{NodeId, Topology};
 
 /// Entry point: `Scenario::named("fig4_2")` starts a builder.
@@ -66,6 +67,8 @@ pub struct ScenarioBuilder {
     seeds: Vec<u64>,
     base: ExpConfig,
     sim: SimConfig,
+    channel: ChannelSpec,
+    probe: Option<(LinkEstimator, u64)>,
     threads: Option<usize>,
     registry: ProtocolRegistry,
 }
@@ -84,6 +87,8 @@ impl ScenarioBuilder {
             seeds: vec![ExpConfig::default().seed],
             base: ExpConfig::default(),
             sim: SimConfig::default(),
+            channel: ChannelSpec::Static,
+            probe: None,
             threads: None,
             registry: ProtocolRegistry::with_defaults(),
         }
@@ -193,6 +198,47 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the channel model every run's air follows (default:
+    /// [`ChannelSpec::Static`], the paper's §5.3.1 model). Non-static
+    /// channels are surfaced in each record's `channel` key.
+    ///
+    /// ```
+    /// use mesh_sim::ChannelSpec;
+    /// use mesh_topology::NodeId;
+    /// use more_scenario::{Scenario, TopologySpec};
+    ///
+    /// let records = Scenario::named("bursty-doc")
+    ///     .topology(TopologySpec::Line {
+    ///         hops: 1,
+    ///         p_adj: 0.9,
+    ///         skip_decay: 0.0,
+    ///         spacing: 20.0,
+    ///     })
+    ///     .pair(NodeId(0), NodeId(1))
+    ///     .protocol("MORE")
+    ///     .channel(ChannelSpec::bursty_matched(0.0, 0.05, 0.2, 10))
+    ///     .packets(16)
+    ///     .deadline(60)
+    ///     .run();
+    /// assert!(records[0].channel.starts_with("ge("));
+    /// ```
+    pub fn channel(mut self, spec: ChannelSpec) -> Self {
+        self.channel = spec;
+        self
+    }
+
+    /// Routes on *measured* beliefs instead of the truth matrix: before
+    /// each run, the channel is probed for [`LinkEstimator::probes`]
+    /// rounds spaced `interval_us` apart (the paper's §4.1.2 warm-up),
+    /// and the estimated topology — not the truth — is handed to the
+    /// protocol factories. The medium still follows the live channel, so
+    /// scenarios can separate what routing believes from what the air
+    /// does.
+    pub fn probe_routing(mut self, estimator: LinkEstimator, interval_us: u64) -> Self {
+        self.probe = Some((estimator, interval_us));
+        self
+    }
+
     /// Worker threads (default: machine parallelism).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
@@ -246,9 +292,21 @@ impl ScenarioBuilder {
         let threads = self.threads.unwrap_or_else(exec::default_threads);
         let this = &self;
         let factories = &factories;
+        // Probed routing beliefs depend only on (sweep point, seed), never
+        // on the protocol — share one probe window across the whole grid.
+        let probe_cache: std::sync::Mutex<
+            std::collections::HashMap<(Option<usize>, u64), Topology>,
+        > = std::sync::Mutex::new(std::collections::HashMap::new());
+        let probe_cache = &probe_cache;
         let results: Vec<Result<Vec<RunRecord>, BuildError>> =
             exec::par_map(grid, threads, |&(pi, sp, seed)| {
-                this.run_cell(&protocols[pi], factories[pi].as_ref(), sp, seed)
+                this.run_cell(
+                    &protocols[pi],
+                    factories[pi].as_ref(),
+                    sp,
+                    seed,
+                    probe_cache,
+                )
             });
         let mut records = Vec::new();
         for cell in results {
@@ -264,12 +322,14 @@ impl ScenarioBuilder {
         factory: &dyn crate::registry::ProtocolFactory,
         sweep_point: Option<usize>,
         seed: u64,
+        probe_cache: &std::sync::Mutex<std::collections::HashMap<(Option<usize>, u64), Topology>>,
     ) -> Result<Vec<RunRecord>, BuildError> {
         // Apply the sweep point to the parameter block and topology.
         let mut cfg = ExpConfig { seed, ..self.base };
         let mut sim_cfg = self.sim;
         let mut topo = self.topology.instantiate(seed);
         let mut traffic = self.traffic.clone();
+        let mut chan = self.channel.clone();
         let (param, value) = match (&self.sweep, sweep_point) {
             (Some(sweep), Some(i)) => {
                 match sweep {
@@ -277,6 +337,7 @@ impl ScenarioBuilder {
                     Sweep::K(v) => cfg.k = v[i],
                     Sweep::Bitrate(v) => cfg.bitrate = v[i],
                     Sweep::LossScale(v) => topo = scale_loss(&topo, v[i]),
+                    Sweep::Channel(v) => chan = v[i].clone(),
                     Sweep::Flows(v) => {
                         traffic = match traffic {
                             TrafficSpec::RandomConcurrent {
@@ -301,13 +362,34 @@ impl ScenarioBuilder {
             _ => (None, None),
         };
         sim_cfg.bitrate = cfg.bitrate;
+        chan.validate(&topo).map_err(BuildError::Unsupported)?;
+
+        // Routing beliefs: the truth matrix, or a probe-window estimate
+        // of the live channel when `probe_routing` is set (deterministic
+        // per (sweep point, seed), so protocols share one cached window;
+        // a losing racer recomputes the identical topology).
+        let believed = self.probe.as_ref().map(|(est, interval)| {
+            let key = (sweep_point, seed);
+            if let Some(t) = probe_cache.lock().expect("probe cache").get(&key) {
+                return t.clone();
+            }
+            let t = mesh_sim::channel::probe_topology(est, &topo, &chan, seed, *interval);
+            probe_cache
+                .lock()
+                .expect("probe cache")
+                .entry(key)
+                .or_insert(t)
+                .clone()
+        });
+        let routing_topo = believed.as_ref().unwrap_or(&topo);
 
         let flow_sets = traffic.flow_sets(&topo, seed, cfg.packets);
         let mut records = Vec::with_capacity(flow_sets.len());
         for (ti, flows) in flow_sets.into_iter().enumerate() {
-            let agent = factory.build(&topo, &flows, &cfg)?;
+            let agent = factory.build(routing_topo, &flows, &cfg)?;
             let record = run_one(
-                &self.name, proto_name, &topo, &flows, &cfg, &sim_cfg, agent, param, value, ti,
+                &self.name, proto_name, &topo, &flows, &cfg, &sim_cfg, &chan, agent, param, value,
+                ti,
             );
             records.push(record);
         }
@@ -325,13 +407,14 @@ fn run_one(
     flows: &[FlowSpec],
     cfg: &ExpConfig,
     sim_cfg: &SimConfig,
+    chan: &ChannelSpec,
     agent: Box<dyn ErasedFlowAgent>,
     param: Option<&'static str>,
     value: Option<f64>,
     traffic_index: usize,
 ) -> RunRecord {
     let deadline = cfg.deadline_s * SEC;
-    let mut sim = Simulator::new(topo.clone(), *sim_cfg, agent, cfg.seed);
+    let mut sim = Simulator::with_channel(topo.clone(), *sim_cfg, chan, agent, cfg.seed);
     for f in flows {
         sim.kick(f.src);
     }
@@ -368,6 +451,7 @@ fn run_one(
         scenario: scenario.to_string(),
         protocol: protocol.to_string(),
         topology: topo.name.clone(),
+        channel: chan.label(),
         param,
         value,
         seed: cfg.seed,
@@ -421,6 +505,88 @@ mod test {
             .deadline(60)
             .run();
         assert_eq!(records.len(), 2, "override must not double-run MORE");
+    }
+
+    #[test]
+    fn channel_sweep_labels_every_record() {
+        let ge = ChannelSpec::bursty_matched(0.0, 0.05, 0.2, 10);
+        let records = Scenario::named("air")
+            .topology(TopologySpec::Line {
+                hops: 2,
+                p_adj: 0.9,
+                skip_decay: 0.3,
+                spacing: 25.0,
+            })
+            .pair(NodeId(0), NodeId(2))
+            .protocols(["MORE", "Srcr"])
+            .sweep(Sweep::Channel(vec![ChannelSpec::Static, ge.clone()]))
+            .seeds(1..=2)
+            .packets(8)
+            .deadline(60)
+            .run();
+        assert_eq!(records.len(), 2 * 2 * 2);
+        assert!(records.iter().all(|r| r.param == Some("channel")));
+        // Sweep value is the point index; the label names the model.
+        assert!(records
+            .iter()
+            .any(|r| r.value == Some(0.0) && r.channel == "static"));
+        assert!(records
+            .iter()
+            .any(|r| r.value == Some(1.0) && r.channel == ge.label()));
+    }
+
+    #[test]
+    fn shadowing_without_positions_is_an_error_not_a_panic() {
+        let bare = Topology::from_matrix(
+            "bare",
+            vec![
+                vec![0.0, 0.9, 0.0],
+                vec![0.9, 0.0, 0.9],
+                vec![0.0, 0.9, 0.0],
+            ],
+        );
+        let err = Scenario::named("no-positions")
+            .topology(TopologySpec::Fixed(std::sync::Arc::new(bare)))
+            .pair(NodeId(0), NodeId(2))
+            .protocol("Srcr")
+            .channel(ChannelSpec::Shadowing {
+                path_loss_exp: 3.0,
+                sigma_db: 6.0,
+                midpoint_m: 35.0,
+                epoch_ms: 100,
+            })
+            .packets(4)
+            .try_run()
+            .expect_err("shadowing needs positions");
+        assert!(matches!(err, BuildError::Unsupported(_)));
+    }
+
+    #[test]
+    fn probed_routing_runs_on_believed_links() {
+        // Probing a bursty channel still completes the transfer: routing
+        // acts on window-mean beliefs while the air keeps flapping.
+        let records = Scenario::named("probed")
+            .topology(TopologySpec::Line {
+                hops: 2,
+                p_adj: 0.9,
+                skip_decay: 0.3,
+                spacing: 25.0,
+            })
+            .pair(NodeId(0), NodeId(2))
+            .protocol("MORE")
+            .channel(ChannelSpec::bursty_matched(0.2, 0.05, 0.3, 10))
+            .probe_routing(
+                LinkEstimator {
+                    probes: 300,
+                    min_delivery: 0.05,
+                },
+                1_000,
+            )
+            .packets(8)
+            .deadline(120)
+            .run();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].all_completed(), "{records:?}");
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod registry;
 pub mod spec;
 
 pub use builder::{Scenario, ScenarioBuilder};
+pub use mesh_sim::{ChannelModel, ChannelSpec};
 pub use protocols::{ExorFactory, MoreFactory, SrcrFactory};
 pub use record::{FlowRecord, RunRecord};
 pub use registry::{BuildError, ProtocolFactory, ProtocolRegistry};

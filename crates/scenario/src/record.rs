@@ -30,6 +30,10 @@ pub struct RunRecord {
     pub protocol: String,
     /// Topology the run used.
     pub topology: String,
+    /// Channel-model label ([`mesh_sim::ChannelSpec::label`]); `"static"`
+    /// for the default §5.3.1 air. Omitted from JSON when static so
+    /// static output stays byte-identical to the pre-channel engine.
+    pub channel: String,
     /// Sweep parameter name, when the scenario sweeps one.
     pub param: Option<&'static str>,
     /// Sweep parameter value at this point.
@@ -88,13 +92,22 @@ impl RunRecord {
                 )
             })
             .collect();
+        // The channel key is omitted for the default static air: static
+        // runs must serialize byte-identically to the pre-channel engine
+        // (enforced by tests/channel_equivalence.rs).
+        let channel = if self.channel == "static" {
+            String::new()
+        } else {
+            format!("\"channel\": {}, ", esc(&self.channel))
+        };
         format!(
-            "{{\"scenario\": {}, \"protocol\": {}, \"topology\": {}, \
+            "{{\"scenario\": {}, \"protocol\": {}, \"topology\": {}, {}\
              \"param\": {}, \"value\": {}, \"seed\": {}, \"traffic_index\": {}, \
              \"total_tx\": {}, \"concurrency\": {}, \"sim_time_s\": {}, \"flows\": [{}]}}",
             esc(&self.scenario),
             esc(&self.protocol),
             esc(&self.topology),
+            channel,
             self.param
                 .map(|p| format!("\"{p}\""))
                 .unwrap_or_else(|| "null".to_string()),
@@ -112,7 +125,7 @@ impl RunRecord {
 
     /// The CSV header matching [`RunRecord::to_csv_rows`]. One CSV row
     /// per flow (runs with several flows emit several rows).
-    pub const CSV_HEADER: &'static str = "scenario,protocol,topology,param,value,seed,\
+    pub const CSV_HEADER: &'static str = "scenario,protocol,topology,channel,param,value,seed,\
          traffic_index,flow_index,src,dst,delivered,throughput_pps,completed,\
          completed_at_s,total_tx,concurrency,sim_time_s";
 
@@ -122,10 +135,11 @@ impl RunRecord {
             .enumerate()
             .map(|(i, f)| {
                 format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     csv_field(&self.scenario),
                     csv_field(&self.protocol),
                     csv_field(&self.topology),
+                    csv_field(&self.channel),
                     self.param.unwrap_or(""),
                     self.value.map(fmt_f64).unwrap_or_default(),
                     self.seed,
@@ -225,6 +239,7 @@ mod test {
             scenario: "test".into(),
             protocol: "MORE".into(),
             topology: "testbed".into(),
+            channel: "static".into(),
             param: Some("k"),
             value: Some(32.0),
             seed: 1,
@@ -269,6 +284,25 @@ mod test {
             v.as_arr().unwrap()[0].get("scenario").unwrap().as_str(),
             Some("line1\nline2\ttabbed")
         );
+    }
+
+    #[test]
+    fn channel_key_omitted_when_static_present_otherwise() {
+        // Static: byte-compat with the pre-channel engine, no channel key.
+        assert!(!to_json(&[sample()]).contains("\"channel\""));
+        // Non-static: the label is surfaced.
+        let mut r = sample();
+        r.channel = "ge(good=1.25;bad=0;to_bad=0.05;to_good=0.2;epoch=10ms)".into();
+        let json = to_json(&[r.clone()]);
+        let v = mesh_topology::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            v.as_arr().unwrap()[0].get("channel").unwrap().as_str(),
+            Some(r.channel.as_str())
+        );
+        // CSV always carries the column.
+        assert!(RunRecord::CSV_HEADER.contains(",channel,"));
+        let csv = to_csv(&[r.clone()]);
+        assert!(csv.contains(&r.channel));
     }
 
     #[test]

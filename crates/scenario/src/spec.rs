@@ -1,7 +1,7 @@
 //! Declarative scenario ingredients: topology, traffic, parameters, and
 //! sweeps.
 
-use mesh_sim::Bitrate;
+use mesh_sim::{Bitrate, ChannelSpec};
 use mesh_topology::{generate, NodeId, Topology};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -291,6 +291,10 @@ pub enum Sweep {
     LossScale(Vec<f64>),
     /// Concurrent random flow counts (Fig 4-5).
     Flows(Vec<usize>),
+    /// Channel models (static vs bursty vs shadowed air; the numeric
+    /// sweep value is the point's index, the record's `channel` key
+    /// carries the spec label).
+    Channel(Vec<ChannelSpec>),
 }
 
 impl Sweep {
@@ -301,6 +305,7 @@ impl Sweep {
             Sweep::Bitrate(_) => "bitrate",
             Sweep::LossScale(_) => "loss_scale",
             Sweep::Flows(_) => "flows",
+            Sweep::Channel(_) => "channel",
         }
     }
 
@@ -311,6 +316,7 @@ impl Sweep {
             Sweep::Bitrate(v) => v.len(),
             Sweep::LossScale(v) => v.len(),
             Sweep::Flows(v) => v.len(),
+            Sweep::Channel(v) => v.len(),
         }
     }
 
@@ -326,6 +332,7 @@ impl Sweep {
             Sweep::Bitrate(v) => v[i].bits_per_us(),
             Sweep::LossScale(v) => v[i],
             Sweep::Flows(v) => v[i] as f64,
+            Sweep::Channel(_) => i as f64,
         }
     }
 }

@@ -1,0 +1,77 @@
+//! MORE vs Srcr vs ExOR when the air turns bursty.
+//!
+//! The paper evaluates all three protocols on a static channel: every
+//! link keeps one delivery probability forever (§5.3.1). Real meshes see
+//! bursts — a link that is perfect for a second and dead for the next 50
+//! ms. This example runs the same testbed transfer under the static
+//! channel and under a Gilbert–Elliott channel *matched to the same mean
+//! loss* (good-state scale 1.25 × / bad-state outage, stationary mean =
+//! the static matrix), so any throughput change is caused by loss
+//! *correlation*, not loss *rate*.
+//!
+//! Writes `results/bursty_links.json` + `.csv` and prints the paths.
+//!
+//! ```sh
+//! cargo run --release --example bursty_links
+//! ```
+
+use more_repro::scenario::{record, ChannelSpec, RunRecord, Scenario, Sweep, TrafficSpec};
+use std::fmt::Write as _;
+
+const JSON_PATH: &str = "results/bursty_links.json";
+const CSV_PATH: &str = "results/bursty_links.csv";
+
+fn main() {
+    // Outages average 50 ms (to_good 0.2 per 10 ms epoch) and strike 20%
+    // of the time; bursty_matched solves the good-state scale so each
+    // link's mean delivery still equals the static matrix.
+    let bursty = ChannelSpec::bursty_matched(0.0, 0.05, 0.2, 10);
+    let channels = vec![ChannelSpec::Static, bursty];
+
+    let records = Scenario::named("bursty_links")
+        .testbed(1)
+        .traffic(TrafficSpec::RandomPairs { count: 4, seed: 7 })
+        .protocols(["MORE", "Srcr", "ExOR"])
+        .sweep(Sweep::Channel(channels.clone()))
+        .seeds(1..=2)
+        .packets(48)
+        .deadline(120)
+        .run();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mean throughput (packets/s) over {} random testbed pairs × 2 seeds:\n",
+        4
+    );
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>10} {:>10} {:>8}",
+        "protocol", "static", "bursty", "ratio"
+    );
+    for proto in ["MORE", "Srcr", "ExOR"] {
+        let mean = |chan: &ChannelSpec| -> f64 {
+            let rs: Vec<&RunRecord> = records
+                .iter()
+                .filter(|r| r.protocol == proto && r.channel == chan.label())
+                .collect();
+            rs.iter().map(|r| r.mean_throughput()).sum::<f64>() / rs.len() as f64
+        };
+        let stat = mean(&channels[0]);
+        let ge = mean(&channels[1]);
+        let _ = writeln!(
+            out,
+            "  {proto:<8} {stat:>10.1} {ge:>10.1} {:>8.2}",
+            ge / stat
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n(matched mean loss: throughput differences come from burst\n correlation, the regime the paper's static model cannot express)"
+    );
+    print!("{out}");
+
+    record::write_json(JSON_PATH, &records).unwrap_or_else(|e| panic!("write {JSON_PATH}: {e}"));
+    record::write_csv(CSV_PATH, &records).unwrap_or_else(|e| panic!("write {CSV_PATH}: {e}"));
+    println!("records written to {JSON_PATH} and {CSV_PATH}");
+}
