@@ -178,6 +178,9 @@ struct ExorFlow {
     /// Latest batch the destination has fully received (credit latch).
     dst_complete_through: Option<u32>,
     progress: ExorProgress,
+    /// Withdrawn mid-run by a dynamic workload: the schedule goes silent
+    /// and the flow counts as resolved.
+    halted: bool,
 }
 
 impl ExorFlow {
@@ -199,7 +202,7 @@ impl ExorFlow {
     }
 
     fn is_done(&self, cfg: &ExorConfig) -> bool {
-        self.src_batch >= self.n_batches(cfg)
+        self.halted || self.src_batch >= self.n_batches(cfg)
     }
 }
 
@@ -274,8 +277,22 @@ impl ExorAgent {
             src_batch: 0,
             dst_complete_through: None,
             progress: ExorProgress::default(),
+            halted: false,
         });
         self.flows.len() - 1
+    }
+
+    /// Withdraws flow `index` mid-run: turns end, queued endgame and
+    /// `BatchDone` unicasts are dropped, and the flow counts as resolved.
+    pub fn halt_flow(&mut self, index: usize) {
+        let f = &mut self.flows[index];
+        f.halted = true;
+        for ns in &mut f.nodes {
+            ns.turn_queue.clear();
+            ns.in_turn = false;
+            ns.direct_queue.clear();
+            ns.done_queue.clear();
+        }
     }
 
     pub fn progress(&self, index: usize) -> &ExorProgress {
@@ -283,7 +300,7 @@ impl ExorAgent {
     }
 
     pub fn all_done(&self) -> bool {
-        self.flows.iter().all(|f| f.progress.done)
+        self.flows.iter().all(|f| f.progress.done || f.halted)
     }
 
     /// Debug: for every packet the destination misses, who holds it and
@@ -583,12 +600,13 @@ impl NodeAgent for ExorAgent {
                     return;
                 };
                 let f = &mut self.flows[fi];
-                // Overhearers: the batch is over; fast-forward local state.
-                if f.rank_of[node.0].is_some() && frame.dst != Some(node) {
-                    return;
-                }
+                // BatchDone is a point-to-point relay toward the source;
+                // overhearers ignore it.
                 if frame.dst != Some(node) {
                     return;
+                }
+                if f.halted {
+                    return; // a withdrawn flow relays nothing
                 }
                 if node == f.src {
                     if *batch >= f.src_batch && !f.is_done(&cfg) {
@@ -829,6 +847,26 @@ impl mesh_sim::FlowAgent for ExorAgent {
             completed_at: p.completed_at,
             done: p.done,
         }
+    }
+
+    fn supports_dynamic_flows(&self) -> bool {
+        true
+    }
+
+    fn add_flow(&mut self, desc: &mesh_sim::FlowDesc) -> usize {
+        assert_eq!(
+            desc.dsts.len(),
+            1,
+            "ExOR's scheduler is strictly unicast; multicast arrivals are unsupported"
+        );
+        let id = self.flows.iter().map(|f| f.id).max().unwrap_or(0) + 1;
+        let fi = ExorAgent::add_flow(self, id, desc.src, desc.dsts[0], desc.packets);
+        self.start(fi);
+        fi
+    }
+
+    fn end_flow(&mut self, index: usize) {
+        self.halt_flow(index);
     }
 }
 

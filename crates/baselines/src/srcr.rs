@@ -85,6 +85,9 @@ struct SrcrFlow {
     /// Delivered-seq dedup bitmap.
     got: Vec<bool>,
     progress: SrcrProgress,
+    /// Withdrawn mid-run by a dynamic workload: injection and forwarding
+    /// stop, and the flow counts as resolved.
+    halted: bool,
 }
 
 impl SrcrFlow {
@@ -141,8 +144,20 @@ impl SrcrAgent {
             in_flight: 0,
             got: vec![false; total],
             progress: SrcrProgress::default(),
+            halted: false,
         });
         self.flows.len() - 1
+    }
+
+    /// Withdraws flow `index` mid-run: the source stops injecting, queued
+    /// packets are discarded, and the flow counts as resolved. Delivered
+    /// and dropped counts stay readable.
+    pub fn halt_flow(&mut self, index: usize) {
+        let f = &mut self.flows[index];
+        f.halted = true;
+        for q in &mut f.queues {
+            q.clear();
+        }
     }
 
     /// Progress of flow `index`.
@@ -150,9 +165,9 @@ impl SrcrAgent {
         &self.flows[index].progress
     }
 
-    /// All flows resolved every packet?
+    /// All flows resolved every packet (withdrawn flows count as done)?
     pub fn all_done(&self) -> bool {
-        self.flows.iter().all(|f| f.progress.done)
+        self.flows.iter().all(|f| f.progress.done || f.halted)
     }
 
     /// Debug: (queue lengths, in-network count, next_seq) of a flow.
@@ -212,6 +227,9 @@ impl NodeAgent for SrcrAgent {
             return;
         };
         let f = &mut self.flows[fi];
+        if f.halted {
+            return; // departed flows count nothing further
+        }
         let seq = frame.payload.seq;
         if node == f.dst {
             let new = !std::mem::replace(&mut f.got[seq as usize], true);
@@ -261,6 +279,10 @@ impl NodeAgent for SrcrAgent {
         }
         if failed {
             let f = &mut self.flows[fi];
+            if f.halted {
+                ctx.mark_backlogged(node);
+                return;
+            }
             // The MAC gave up: the packet is lost unless it already made
             // it and only the MAC ACKs were lost — we count it dropped if
             // the destination never logged it. (got[] flips exactly once.)
@@ -282,6 +304,9 @@ impl NodeAgent for SrcrAgent {
         let start = self.rr[node.0] % nf;
         for step in 0..nf {
             let fi = (start + step) % nf;
+            if self.flows[fi].halted {
+                continue;
+            }
             // Source pacing: top the window up before dequeueing.
             {
                 let cfg_window = self.cfg.window;
@@ -332,6 +357,24 @@ impl mesh_sim::FlowAgent for SrcrAgent {
             completed_at: p.completed_at,
             done: p.done,
         }
+    }
+
+    fn supports_dynamic_flows(&self) -> bool {
+        true
+    }
+
+    fn add_flow(&mut self, desc: &mesh_sim::FlowDesc) -> usize {
+        assert_eq!(
+            desc.dsts.len(),
+            1,
+            "Srcr routes along a single best path; multicast arrivals are unsupported"
+        );
+        let id = self.flows.iter().map(|f| f.id).max().unwrap_or(0) + 1;
+        SrcrAgent::add_flow(self, id, desc.src, desc.dsts[0], desc.packets)
+    }
+
+    fn end_flow(&mut self, index: usize) {
+        self.halt_flow(index);
     }
 }
 

@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mesh_sim::{ChannelSpec, Erased, ErasedFlowAgent, SimConfig, Simulator, SEC};
 use mesh_topology::{generate, NodeId};
 use more_core::{MoreAgent, MoreConfig};
-use more_scenario::{Scenario, TopologySpec, TrafficSpec};
+use more_scenario::{Scenario, TopologySpec, TrafficModelSpec, TrafficSpec};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -80,6 +80,53 @@ fn bench_channel_models(c: &mut Criterion) {
     group.finish();
 }
 
+/// Traffic-model cost: the same MORE transfer expanded by the legacy
+/// `TrafficSpec` shorthand and through the trait-dispatched
+/// `TrafficModelSpec::Static` (both are the `StaticModel` path, which
+/// must stay at pre-traffic-model speed), plus a staggered-arrival run
+/// that actually exercises the mid-run traffic queue.
+fn bench_traffic_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_engine/traffic");
+    let topo = Arc::new(line());
+    let run = |traffic: TrafficModelSpec| {
+        let records = Scenario::named("bench")
+            .topology(TopologySpec::Fixed(topo.clone()))
+            .traffic_model(traffic)
+            .protocol("MORE")
+            .packets(PACKETS)
+            .deadline(120)
+            .threads(1)
+            .run();
+        black_box(records.len())
+    };
+    group.bench_function("static_legacy_shorthand", |b| {
+        b.iter(|| {
+            run(TrafficModelSpec::Static(TrafficSpec::SinglePair {
+                src: NodeId(0),
+                dst: NodeId(3),
+            }))
+        })
+    });
+    group.bench_function("static_trait_dispatch", |b| {
+        b.iter(|| {
+            run(TrafficModelSpec::Static(TrafficSpec::EachPair(vec![(
+                NodeId(0),
+                NodeId(3),
+            )])))
+        })
+    });
+    group.bench_function("staggered_dynamic", |b| {
+        b.iter(|| {
+            run(TrafficModelSpec::Staggered {
+                n_flows: 2,
+                gap_ms: 200,
+                hold_ms: None,
+            })
+        })
+    });
+    group.finish();
+}
+
 /// A small three-protocol grid through the full builder machinery.
 fn bench_scenario_grid(c: &mut Criterion) {
     let mut group = c.benchmark_group("scenario_engine/grid");
@@ -109,6 +156,7 @@ criterion_group!(
     scenario_engine,
     bench_direct_dispatch,
     bench_channel_models,
+    bench_traffic_models,
     bench_scenario_grid
 );
 criterion_main!(scenario_engine);

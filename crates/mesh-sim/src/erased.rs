@@ -31,6 +31,30 @@ use std::rc::Rc;
 /// parallelize across simulations, never within one).
 pub type DynPayload = Rc<dyn Any>;
 
+/// Description of a flow handed to a protocol mid-run (the engine-level
+/// mirror of the scenario layer's `FlowSpec`, so `mesh-sim` stays free of
+/// a dependency on the scenario crate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowDesc {
+    /// Source node.
+    pub src: NodeId,
+    /// One destination (unicast) or several (multicast).
+    pub dsts: Vec<NodeId>,
+    /// Packet budget of the transfer.
+    pub packets: usize,
+}
+
+impl FlowDesc {
+    /// A unicast flow description.
+    pub fn unicast(src: NodeId, dst: NodeId, packets: usize) -> Self {
+        FlowDesc {
+            src,
+            dsts: vec![dst],
+            packets,
+        }
+    }
+}
+
 /// Per-flow progress as read by measurement harnesses, reduced to what
 /// every protocol can report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -46,12 +70,52 @@ pub struct FlowProgressView {
 
 /// Measurement interface layered on [`NodeAgent`]: a protocol that moves
 /// a known set of flows and can report progress on each.
+///
+/// The lifecycle hooks ([`FlowAgent::add_flow`] / [`FlowAgent::end_flow`])
+/// let dynamic traffic models inject and withdraw flows **mid-run**; they
+/// default to "unsupported" so existing protocols keep compiling, and
+/// [`FlowAgent::supports_dynamic_flows`] lets harnesses reject a dynamic
+/// workload *before* the run instead of panicking inside it.
 pub trait FlowAgent: NodeAgent {
-    /// Every flow resolved (the simulator's stop condition).
+    /// Every flow resolved (the simulator's stop condition). Flows halted
+    /// by [`FlowAgent::end_flow`] count as resolved.
     fn flows_done(&self) -> bool;
 
     /// Progress of the flow at `index` (the order flows were added).
     fn flow_progress(&self, index: usize) -> FlowProgressView;
+
+    /// Whether this protocol implements the mid-run lifecycle hooks.
+    /// Harnesses must check this before scheduling dynamic traffic.
+    fn supports_dynamic_flows(&self) -> bool {
+        false
+    }
+
+    /// Installs `desc` as a new flow while the simulation is running and
+    /// returns its index (flows are indexed in the order they were added,
+    /// counting the ones installed at construction). The caller is
+    /// responsible for kicking the source's MAC afterwards.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: protocols opt in by overriding
+    /// this together with [`FlowAgent::supports_dynamic_flows`].
+    fn add_flow(&mut self, desc: &FlowDesc) -> usize {
+        let _ = desc;
+        panic!("this protocol does not support dynamic flow arrivals");
+    }
+
+    /// Halts the flow at `index`: the protocol must stop sourcing and
+    /// forwarding it and must no longer count it against
+    /// [`FlowAgent::flows_done`]. Progress measured so far stays readable.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: protocols opt in by overriding
+    /// this together with [`FlowAgent::supports_dynamic_flows`].
+    fn end_flow(&mut self, index: usize) {
+        let _ = index;
+        panic!("this protocol does not support dynamic flow departures");
+    }
 }
 
 /// Object-safe [`FlowAgent`] with erased payloads. This is the type the
@@ -69,6 +133,12 @@ pub trait ErasedFlowAgent {
     fn flows_done(&self) -> bool;
     /// [`FlowAgent::flow_progress`], unchanged.
     fn flow_progress(&self, index: usize) -> FlowProgressView;
+    /// [`FlowAgent::supports_dynamic_flows`], unchanged.
+    fn supports_dynamic_flows(&self) -> bool;
+    /// [`FlowAgent::add_flow`], unchanged.
+    fn add_flow(&mut self, desc: &FlowDesc) -> usize;
+    /// [`FlowAgent::end_flow`], unchanged.
+    fn end_flow(&mut self, index: usize);
     /// Downcast access to the concrete agent (protocol-specific stats).
     fn as_any(&self) -> &dyn Any;
     /// Mutable downcast access to the concrete agent.
@@ -124,6 +194,18 @@ where
         self.0.flow_progress(index)
     }
 
+    fn supports_dynamic_flows(&self) -> bool {
+        self.0.supports_dynamic_flows()
+    }
+
+    fn add_flow(&mut self, desc: &FlowDesc) -> usize {
+        self.0.add_flow(desc)
+    }
+
+    fn end_flow(&mut self, index: usize) {
+        self.0.end_flow(index)
+    }
+
     fn as_any(&self) -> &dyn Any {
         &self.0
     }
@@ -160,6 +242,18 @@ impl FlowAgent for Box<dyn ErasedFlowAgent> {
 
     fn flow_progress(&self, index: usize) -> FlowProgressView {
         (**self).flow_progress(index)
+    }
+
+    fn supports_dynamic_flows(&self) -> bool {
+        (**self).supports_dynamic_flows()
+    }
+
+    fn add_flow(&mut self, desc: &FlowDesc) -> usize {
+        (**self).add_flow(desc)
+    }
+
+    fn end_flow(&mut self, index: usize) {
+        (**self).end_flow(index)
     }
 }
 

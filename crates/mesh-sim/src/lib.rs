@@ -42,9 +42,9 @@ pub mod stats;
 
 pub use autorate::OnoeAutorate;
 pub use channel::{ChannelModel, ChannelSpec};
-pub use erased::{DynPayload, Erased, ErasedFlowAgent, FlowAgent, FlowProgressView};
+pub use erased::{DynPayload, Erased, ErasedFlowAgent, FlowAgent, FlowDesc, FlowProgressView};
 pub use medium::Medium;
-pub use simulator::{Ctx, Simulator};
+pub use simulator::{Ctx, Simulator, TrafficAction};
 pub use stats::SimStats;
 
 use mesh_topology::NodeId;

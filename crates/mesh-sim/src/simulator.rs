@@ -22,6 +22,7 @@
 //! of both MORE's and ExOR's designs).
 
 use crate::channel::{ChannelModel, ChannelSpec};
+use crate::erased::{FlowAgent, FlowDesc};
 use crate::medium::{Medium, Transmission};
 use crate::stats::SimStats;
 use crate::{Frame, NodeAgent, OutFrame, SimConfig, Time, TxOutcome};
@@ -45,6 +46,18 @@ enum EventKind {
     StartMacAck { node: NodeId, data_id: u64 },
     /// Protocol timer.
     Timer { node: NodeId, token: u64 },
+}
+
+/// A dynamic-workload action applied between engine events (see
+/// [`Simulator::schedule_traffic`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrafficAction {
+    /// A new flow arrives: [`FlowAgent::add_flow`] is called and the
+    /// source's MAC is kicked.
+    Start(FlowDesc),
+    /// The flow at this index (the order flows were added, counting the
+    /// ones installed at construction) departs: [`FlowAgent::end_flow`].
+    Stop(usize),
 }
 
 /// Callback context handed to [`NodeAgent`] methods.
@@ -129,6 +142,13 @@ pub struct Simulator<A: NodeAgent> {
     ack_seq: Vec<u64>,
     in_flight: std::collections::HashMap<u64, InFlight<A::Payload>>,
     next_tx_id: u64,
+    /// Pending dynamic-workload actions, kept sorted descending by
+    /// `(time, seq)` so the earliest is popped from the back.
+    traffic: Vec<(Time, u64, TrafficAction)>,
+    traffic_seq: u64,
+    /// How many of the pending actions are `Start`s (fast path for the
+    /// stop-condition gate: only future *arrivals* can un-resolve a run).
+    pending_starts: usize,
     /// Counters accumulated over the run.
     pub stats: SimStats,
 }
@@ -185,8 +205,26 @@ impl<A: NodeAgent> Simulator<A> {
             ack_seq: vec![0; n],
             in_flight: std::collections::HashMap::new(),
             next_tx_id: 0,
+            traffic: Vec::new(),
+            traffic_seq: 0,
+            pending_starts: 0,
             stats: SimStats::new(n),
         }
+    }
+
+    /// Schedules a dynamic-workload action for simulated time `at`.
+    /// Actions fire inside [`Simulator::run_with_traffic`], interleaved
+    /// with the event queue; at equal timestamps traffic actions apply
+    /// before engine events, and same-instant actions apply in the order
+    /// they were scheduled.
+    pub fn schedule_traffic(&mut self, at: Time, action: TrafficAction) {
+        if matches!(action, TrafficAction::Start(_)) {
+            self.pending_starts += 1;
+        }
+        self.traffic_seq += 1;
+        self.traffic.push((at, self.traffic_seq, action));
+        // Ordered once per run ([`Simulator::run_with_traffic`]), not per
+        // insertion — schedules are built in bulk before the run starts.
     }
 
     /// The channel model driving this run's losses.
@@ -535,5 +573,89 @@ impl<A: NodeAgent> Simulator<A> {
         self.states[node.0] = MacState::Waiting;
         let d = self.backoff_delay(self.cfg.cw_min);
         self.push(self.now + d, EventKind::TryTx { node });
+    }
+}
+
+impl<A: FlowAgent> Simulator<A> {
+    /// [`Simulator::run_until`] with the traffic queue interleaved: each
+    /// action scheduled via [`Simulator::schedule_traffic`] fires at its
+    /// timestamp, before engine events due at the same instant. `stop` is
+    /// only honoured while no traffic action ≤ `deadline` is pending, so a
+    /// run cannot end in the quiet gap before the next arrival.
+    ///
+    /// With an empty traffic queue this **is** `run_until` — same events,
+    /// same RNG stream, same exit time — which is what keeps static
+    /// workloads byte-identical to the pre-traffic-model engine.
+    pub fn run_with_traffic(&mut self, deadline: Time, mut stop: impl FnMut(&A) -> bool) -> Time {
+        if self.traffic.is_empty() {
+            return self.run_until(deadline, stop);
+        }
+        // Descending (time, seq): the earliest action sits at the back.
+        self.traffic.sort_by_key(|&(t, s, _)| Reverse((t, s)));
+        loop {
+            // Apply every traffic action due before the next engine event.
+            let next_engine = self.queue.peek().map(|Reverse((t, _, _))| *t);
+            let traffic_due = match (self.traffic.last(), next_engine) {
+                (Some(&(t, _, _)), Some(e)) => t <= e && t <= deadline,
+                (Some(&(t, _, _)), None) => t <= deadline,
+                (None, _) => false,
+            };
+            if traffic_due {
+                let (at, _, action) = self.traffic.pop().expect("traffic_due checked");
+                self.now = at;
+                self.apply_traffic(action);
+                if self.traffic_drained(deadline) && stop(&self.agent) {
+                    break;
+                }
+                continue;
+            }
+            let Some(Reverse((at, _, ev))) = self.queue.pop() else {
+                // No engine events and no traffic due: time stops at the
+                // deadline if anything remains scheduled beyond it.
+                if !self.traffic.is_empty() {
+                    self.now = deadline;
+                }
+                break;
+            };
+            if at > deadline {
+                self.push_back(at, ev);
+                self.now = deadline;
+                break;
+            }
+            self.now = at;
+            self.stats.events += 1;
+            self.dispatch(ev);
+            if self.traffic_drained(deadline) && stop(&self.agent) {
+                break;
+            }
+            if self.stats.events.is_multiple_of(4096) {
+                self.medium.prune(self.now);
+            }
+        }
+        self.now
+    }
+
+    /// No flow *arrival* is still due before `deadline`. Pending `Stop`s
+    /// do not gate the stop condition: a departure cannot un-resolve a
+    /// flow, so waiting for one would only inflate the reported run time
+    /// past the instant everything finished.
+    fn traffic_drained(&self, deadline: Time) -> bool {
+        self.pending_starts == 0
+            || !self
+                .traffic
+                .iter()
+                .any(|(t, _, a)| *t <= deadline && matches!(a, TrafficAction::Start(_)))
+    }
+
+    fn apply_traffic(&mut self, action: TrafficAction) {
+        match action {
+            TrafficAction::Start(desc) => {
+                self.pending_starts -= 1;
+                let src = desc.src;
+                self.agent.add_flow(&desc);
+                self.kick_at(src, self.now);
+            }
+            TrafficAction::Stop(index) => self.agent.end_flow(index),
+        }
     }
 }

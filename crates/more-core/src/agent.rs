@@ -93,9 +93,21 @@ impl MoreAgent {
             encoder: None,
             progress: FlowProgress::default(),
             dst_completed: None,
+            halted: false,
         };
         self.flows.push(flow);
         self.flows.len() - 1
+    }
+
+    /// Withdraws flow `index` mid-run: the source and every forwarder go
+    /// silent on it, queued batch ACKs are dropped, and the flow counts as
+    /// resolved. Measured progress stays readable.
+    pub fn halt_flow(&mut self, index: usize) {
+        let f = &mut self.flows[index];
+        f.halted = true;
+        for ns in &mut f.nodes {
+            ns.pending_acks.clear();
+        }
     }
 
     /// Progress of flow `index` (as returned by [`Self::add_flow`]).
@@ -278,6 +290,9 @@ impl NodeAgent for MoreAgent {
                 };
                 let cfg = self.cfg;
                 let f = &mut self.flows[fi];
+                if f.halted {
+                    return; // a withdrawn flow relays nothing
+                }
                 // Overhearers purge the acked batch (§3.3.4).
                 if f.rank_of[node.0].is_some() {
                     f.nodes[node.0].flush_to(*batch + 1);
@@ -449,6 +464,24 @@ impl mesh_sim::FlowAgent for MoreAgent {
             completed_at: p.completed_at,
             done: p.done,
         }
+    }
+
+    fn supports_dynamic_flows(&self) -> bool {
+        true
+    }
+
+    fn add_flow(&mut self, desc: &mesh_sim::FlowDesc) -> usize {
+        assert_eq!(
+            desc.dsts.len(),
+            1,
+            "unicast MORE cannot accept a multicast arrival"
+        );
+        let id = self.flows.iter().map(|f| f.id).max().unwrap_or(0) + 1;
+        MoreAgent::add_flow(self, id, desc.src, desc.dsts[0], desc.packets)
+    }
+
+    fn end_flow(&mut self, index: usize) {
+        self.halt_flow(index);
     }
 }
 

@@ -125,6 +125,10 @@ pub struct MoreFlow {
     pub progress: FlowProgress,
     /// Batch the destination has fully received (for spurious-tx stats).
     pub dst_completed: Option<u32>,
+    /// The flow was withdrawn mid-run by the workload (dynamic traffic
+    /// departure): sources and forwarders go silent, and the flow counts
+    /// as resolved for the stop condition.
+    pub halted: bool,
 }
 
 impl MoreFlow {
@@ -144,9 +148,10 @@ impl MoreFlow {
         }
     }
 
-    /// True once every batch has been ACKed to the source.
+    /// True once every batch has been ACKed to the source (or the flow
+    /// was withdrawn by a dynamic workload).
     pub fn is_done(&self, cfg: &MoreConfig) -> bool {
-        self.src_batch >= self.n_batches(cfg)
+        self.halted || self.src_batch >= self.n_batches(cfg)
     }
 }
 

@@ -74,6 +74,8 @@ struct McFlow {
     /// `nodes[n].pending_acks`.
     ack_origin: Vec<std::collections::VecDeque<NodeId>>,
     progress: MulticastProgress,
+    /// Withdrawn mid-run by a dynamic workload: everyone goes silent.
+    halted: bool,
 }
 
 impl McFlow {
@@ -95,7 +97,7 @@ impl McFlow {
     }
 
     fn is_done(&self, cfg: &MoreConfig) -> bool {
-        self.src_batch >= self.n_batches(cfg)
+        self.halted || self.src_batch >= self.n_batches(cfg)
     }
 }
 
@@ -171,8 +173,25 @@ impl MulticastMoreAgent {
             encoder: None,
             acked_mask: vec![0; n],
             ack_origin: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            halted: false,
         });
         self.flows.len() - 1
+    }
+
+    /// Withdraws flow `index` mid-run: forwarding and ACK relaying stop,
+    /// and the flow counts as resolved for the stop condition.
+    pub fn halt_flow(&mut self, index: usize) {
+        let f = &mut self.flows[index];
+        f.halted = true;
+        for ns in &mut f.nodes {
+            ns.pending_acks.clear();
+        }
+        for d in &mut f.dsts {
+            d.node_state.pending_acks.clear();
+        }
+        for q in &mut f.ack_origin {
+            q.clear();
+        }
     }
 
     pub fn progress(&self, index: usize) -> &MulticastProgress {
@@ -180,7 +199,7 @@ impl MulticastMoreAgent {
     }
 
     pub fn all_done(&self) -> bool {
-        self.flows.iter().all(|f| f.progress.done)
+        self.flows.iter().all(|f| f.progress.done || f.halted)
     }
 
     /// Source frontier: the earliest batch not yet ACKed by everyone.
@@ -297,6 +316,9 @@ impl NodeAgent for MulticastMoreAgent {
                     return;
                 };
                 let f = &mut self.flows[fi];
+                if f.halted {
+                    return; // a withdrawn flow relays nothing
+                }
                 let Some(oi) = f.dsts.iter().position(|d| d.dst == *origin) else {
                     return; // not one of our destinations
                 };
@@ -480,6 +502,19 @@ impl mesh_sim::FlowAgent for MulticastMoreAgent {
             completed_at,
             done: p.done,
         }
+    }
+
+    fn supports_dynamic_flows(&self) -> bool {
+        true
+    }
+
+    fn add_flow(&mut self, desc: &mesh_sim::FlowDesc) -> usize {
+        let id = self.flows.iter().map(|f| f.id).max().unwrap_or(0) + 1;
+        MulticastMoreAgent::add_flow(self, id, desc.src, desc.dsts.clone(), desc.packets)
+    }
+
+    fn end_flow(&mut self, index: usize) {
+        self.halt_flow(index);
     }
 }
 

@@ -15,7 +15,11 @@ use crate::exec;
 use crate::record::{time_to_s, FlowRecord, RunRecord};
 use crate::registry::{BuildError, ProtocolRegistry};
 use crate::spec::{scale_loss, ExpConfig, FlowSpec, Sweep, TopologySpec, TrafficSpec};
-use mesh_sim::{Bitrate, ChannelSpec, ErasedFlowAgent, SimConfig, Simulator, SEC};
+use crate::traffic::{flow_windows, FlowWindow, TrafficModelSpec};
+use mesh_sim::{
+    Bitrate, ChannelSpec, ErasedFlowAgent, FlowAgent, FlowDesc, SimConfig, Simulator,
+    TrafficAction, SEC,
+};
 use mesh_topology::estimator::LinkEstimator;
 use mesh_topology::{NodeId, Topology};
 
@@ -61,7 +65,7 @@ impl Scenario {
 pub struct ScenarioBuilder {
     name: String,
     topology: TopologySpec,
-    traffic: TrafficSpec,
+    traffic: TrafficModelSpec,
     protocols: Vec<String>,
     sweep: Option<Sweep>,
     seeds: Vec<u64>,
@@ -74,14 +78,13 @@ pub struct ScenarioBuilder {
 }
 
 impl ScenarioBuilder {
+    /// A builder with the crate's defaults (testbed topology, one unicast
+    /// pair, static traffic, static channel, seed 1).
     pub fn new(name: impl Into<String>) -> Self {
         ScenarioBuilder {
             name: name.into(),
             topology: TopologySpec::Testbed { seed: 1 },
-            traffic: TrafficSpec::SinglePair {
-                src: NodeId(0),
-                dst: NodeId(19),
-            },
+            traffic: TrafficModelSpec::default(),
             protocols: Vec::new(),
             sweep: None,
             seeds: vec![ExpConfig::default().seed],
@@ -105,8 +108,45 @@ impl ScenarioBuilder {
         self.topology(TopologySpec::Testbed { seed })
     }
 
-    /// Sets the traffic shape.
+    /// Sets a static traffic shape (the legacy [`TrafficSpec`]): every
+    /// flow starts at t = 0 and runs to completion. Shorthand for
+    /// `.traffic_model(TrafficModelSpec::Static(spec))`.
     pub fn traffic(mut self, spec: TrafficSpec) -> Self {
+        self.traffic = TrafficModelSpec::Static(spec);
+        self
+    }
+
+    /// Sets the traffic model — how flows arrive and depart over the run
+    /// (default: the static [`TrafficSpec`] expansion). Dynamic models
+    /// inject flows mid-run through the protocol's
+    /// [`mesh_sim::FlowAgent::add_flow`] lifecycle hook and withdraw them
+    /// via [`mesh_sim::FlowAgent::end_flow`]; per-flow arrival, departure,
+    /// and completion latency land in each record's flow rows.
+    ///
+    /// ```
+    /// use more_scenario::{Scenario, TopologySpec, TrafficModelSpec};
+    ///
+    /// let records = Scenario::named("ramp-doc")
+    ///     .topology(TopologySpec::Line {
+    ///         hops: 2,
+    ///         p_adj: 0.9,
+    ///         skip_decay: 0.3,
+    ///         spacing: 25.0,
+    ///     })
+    ///     .traffic_model(TrafficModelSpec::Staggered {
+    ///         n_flows: 2,
+    ///         gap_ms: 1_000,
+    ///         hold_ms: None,
+    ///     })
+    ///     .protocol("MORE")
+    ///     .packets(8)
+    ///     .deadline(60)
+    ///     .run();
+    /// assert_eq!(records[0].flows.len(), 2);
+    /// // The second flow of the ramp arrived one second in.
+    /// assert_eq!(records[0].flows[1].started_at_s, Some(1.0));
+    /// ```
+    pub fn traffic_model(mut self, spec: TrafficModelSpec) -> Self {
         self.traffic = spec;
         self
     }
@@ -255,8 +295,92 @@ impl ScenarioBuilder {
         }
     }
 
+    /// Checks that the declared sweep can be applied to the declared
+    /// traffic model and that the model's parameters (at every sweep
+    /// point) are valid, so mismatches fail at build time — before any
+    /// worker thread spawns — like channel-spec validation does.
+    fn validate_sweep_traffic(&self) -> Result<(), BuildError> {
+        match (&self.sweep, &self.traffic) {
+            (
+                Some(Sweep::Flows(_)),
+                TrafficModelSpec::Static(TrafficSpec::RandomConcurrent { .. })
+                | TrafficModelSpec::Staggered { .. },
+            ) => {}
+            (Some(Sweep::Flows(_)), other) => {
+                return Err(BuildError::Unsupported(format!(
+                    "Sweep::Flows requires TrafficSpec::RandomConcurrent or \
+                     TrafficModelSpec::Staggered traffic, got {other:?}"
+                )))
+            }
+            (Some(Sweep::Load(_)), TrafficModelSpec::Poisson { .. }) => {}
+            (Some(Sweep::Load(_)), other) => {
+                return Err(BuildError::Unsupported(format!(
+                    "Sweep::Load sweeps the arrival rate of TrafficModelSpec::Poisson \
+                     traffic, got {other:?}"
+                )))
+            }
+            _ => {}
+        }
+        let deadline_s = self.base.deadline_s;
+        // When the sweep overrides one of the model's parameters, the base
+        // value never runs — only the substituted configurations below do,
+        // so validating the base spec would spuriously reject valid sweeps
+        // (e.g. a placeholder n_flows too large for the deadline).
+        let sweep_overrides_model = matches!(
+            (&self.sweep, &self.traffic),
+            (Some(Sweep::Load(_)), TrafficModelSpec::Poisson { .. })
+                | (Some(Sweep::Flows(_)), TrafficModelSpec::Staggered { .. })
+        );
+        if !sweep_overrides_model {
+            self.traffic
+                .validate(deadline_s)
+                .map_err(BuildError::Unsupported)?;
+        }
+        // Every sweep point substitutes a parameter into the model; each
+        // substituted configuration must be valid too.
+        match (&self.sweep, &self.traffic) {
+            (
+                Some(Sweep::Load(v)),
+                TrafficModelSpec::Poisson {
+                    mean_hold_s,
+                    max_active,
+                    ..
+                },
+            ) => {
+                for &rate_per_s in v {
+                    TrafficModelSpec::Poisson {
+                        rate_per_s,
+                        mean_hold_s: *mean_hold_s,
+                        max_active: *max_active,
+                    }
+                    .validate(deadline_s)
+                    .map_err(BuildError::Unsupported)?;
+                }
+            }
+            (
+                Some(Sweep::Flows(v)),
+                TrafficModelSpec::Staggered {
+                    gap_ms, hold_ms, ..
+                },
+            ) => {
+                for &n_flows in v {
+                    TrafficModelSpec::Staggered {
+                        n_flows,
+                        gap_ms: *gap_ms,
+                        hold_ms: *hold_ms,
+                    }
+                    .validate(deadline_s)
+                    .map_err(BuildError::Unsupported)?;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
     /// Executes the grid, surfacing configuration errors.
     pub fn try_run(self) -> Result<Vec<RunRecord>, BuildError> {
+        self.validate_sweep_traffic()?;
         let protocols = if self.protocols.is_empty() {
             // No explicit selection: run everything registered.
             self.registry
@@ -340,18 +464,47 @@ impl ScenarioBuilder {
                     Sweep::Channel(v) => chan = v[i].clone(),
                     Sweep::Flows(v) => {
                         traffic = match traffic {
-                            TrafficSpec::RandomConcurrent {
+                            TrafficModelSpec::Static(TrafficSpec::RandomConcurrent {
                                 seed_offset,
                                 distinct_sources,
                                 ..
-                            } => TrafficSpec::RandomConcurrent {
+                            }) => TrafficModelSpec::Static(TrafficSpec::RandomConcurrent {
                                 n_flows: v[i],
                                 seed_offset,
                                 distinct_sources,
+                            }),
+                            TrafficModelSpec::Staggered {
+                                gap_ms, hold_ms, ..
+                            } => TrafficModelSpec::Staggered {
+                                n_flows: v[i],
+                                gap_ms,
+                                hold_ms,
+                            },
+                            // Unreachable through try_run (validated up
+                            // front), kept for direct run_cell callers.
+                            other => {
+                                return Err(BuildError::Unsupported(format!(
+                                    "Sweep::Flows requires TrafficSpec::RandomConcurrent or \
+                                     TrafficModelSpec::Staggered traffic, got {other:?}"
+                                )))
+                            }
+                        };
+                    }
+                    Sweep::Load(v) => {
+                        traffic = match traffic {
+                            TrafficModelSpec::Poisson {
+                                mean_hold_s,
+                                max_active,
+                                ..
+                            } => TrafficModelSpec::Poisson {
+                                rate_per_s: v[i],
+                                mean_hold_s,
+                                max_active,
                             },
                             other => {
                                 return Err(BuildError::Unsupported(format!(
-                                    "Sweep::Flows requires TrafficSpec::RandomConcurrent, got {other:?}"
+                                    "Sweep::Load sweeps the arrival rate of \
+                                     TrafficModelSpec::Poisson traffic, got {other:?}"
                                 )))
                             }
                         };
@@ -383,13 +536,48 @@ impl ScenarioBuilder {
         });
         let routing_topo = believed.as_ref().unwrap_or(&topo);
 
-        let flow_sets = traffic.flow_sets(&topo, seed, cfg.packets);
-        let mut records = Vec::with_capacity(flow_sets.len());
-        for (ti, flows) in flow_sets.into_iter().enumerate() {
-            let agent = factory.build(routing_topo, &flows, &cfg)?;
+        let horizon = cfg.deadline_s * SEC;
+        // Endpoint feasibility depends on the instantiated topology, so it
+        // is checked here — like the channel spec — and surfaces as an
+        // error from the grid instead of a worker panic.
+        traffic
+            .validate_for(&topo)
+            .map_err(BuildError::Unsupported)?;
+        let model = traffic.build();
+        let schedules = model.schedules(&topo, seed, cfg.packets, horizon);
+        let mut records = Vec::with_capacity(schedules.len());
+        for (ti, schedule) in schedules.into_iter().enumerate() {
+            // Clamp the schedule to the run horizon: a flow arriving at or
+            // after the deadline never runs, a departure beyond it never
+            // fires.
+            let mut windows = flow_windows(&schedule);
+            windows.retain(|w| w.start < horizon);
+            for w in &mut windows {
+                if w.stop.is_some_and(|s| s >= horizon) {
+                    w.stop = None;
+                }
+            }
+            // Flows arriving at t = 0 are installed at construction — the
+            // legacy path, byte-identical for static workloads; the rest
+            // are injected mid-run through the agent's lifecycle hooks.
+            let initial: Vec<FlowSpec> = windows
+                .iter()
+                .filter(|w| w.start == 0)
+                .map(|w| w.spec.clone())
+                .collect();
+            let agent = factory.build(routing_topo, &initial, &cfg)?;
+            let dynamic = windows.iter().any(|w| w.start > 0 || w.stop.is_some());
+            if dynamic && !agent.supports_dynamic_flows() {
+                return Err(BuildError::Unsupported(format!(
+                    "protocol {proto_name} does not implement the dynamic flow \
+                     lifecycle (FlowAgent::add_flow/end_flow) required by \
+                     traffic model {:?}",
+                    self.traffic
+                )));
+            }
             let record = run_one(
-                &self.name, proto_name, &topo, &flows, &cfg, &sim_cfg, &chan, agent, param, value,
-                ti,
+                &self.name, proto_name, &topo, &windows, dynamic, &cfg, &sim_cfg, &chan, agent,
+                param, value, ti,
             );
             records.push(record);
         }
@@ -397,14 +585,21 @@ impl ScenarioBuilder {
     }
 }
 
-/// Runs one flow set to completion (or deadline) and measures it.
+/// Runs one flow schedule to completion (or deadline) and measures it.
+///
+/// Flows starting at t = 0 are pre-installed in `agent` and kicked, the
+/// rest are injected through the simulator's traffic queue; per-flow
+/// arrival/departure/latency is recorded for dynamic schedules (and
+/// omitted for static ones, which stay byte-identical to the
+/// pre-traffic-model engine).
 #[allow(clippy::too_many_arguments)]
-#[allow(clippy::borrowed_box)] // run_until's stop callback receives &A = &Box<dyn _>
+#[allow(clippy::borrowed_box)] // run's stop callback receives &A = &Box<dyn _>
 fn run_one(
     scenario: &str,
     protocol: &str,
     topo: &Topology,
-    flows: &[FlowSpec],
+    windows: &[FlowWindow],
+    dynamic: bool,
     cfg: &ExpConfig,
     sim_cfg: &SimConfig,
     chan: &ChannelSpec,
@@ -415,10 +610,24 @@ fn run_one(
 ) -> RunRecord {
     let deadline = cfg.deadline_s * SEC;
     let mut sim = Simulator::with_channel(topo.clone(), *sim_cfg, chan, agent, cfg.seed);
-    for f in flows {
-        sim.kick(f.src);
+    for (i, w) in windows.iter().enumerate() {
+        if w.start == 0 {
+            sim.kick(w.spec.src);
+        } else {
+            sim.schedule_traffic(
+                w.start,
+                TrafficAction::Start(FlowDesc {
+                    src: w.spec.src,
+                    dsts: w.spec.dsts.clone(),
+                    packets: w.spec.packets,
+                }),
+            );
+        }
+        if let Some(stop) = w.stop {
+            sim.schedule_traffic(stop, TrafficAction::Stop(i));
+        }
     }
-    sim.run_until(deadline, |a: &Box<dyn ErasedFlowAgent>| a.flows_done());
+    sim.run_with_traffic(deadline, |a: &Box<dyn ErasedFlowAgent>| a.flows_done());
 
     let concurrency = {
         let total = sim.stats.total_airtime();
@@ -428,22 +637,47 @@ fn run_one(
             sim.stats.concurrent_airtime as f64 / total as f64
         }
     };
-    let flow_records = flows
+    let flow_records = windows
         .iter()
         .enumerate()
-        .map(|(i, f)| {
+        .map(|(i, w)| {
             let p = sim.agent.flow_progress(i);
+            let start = w.start;
             let (throughput_pps, completed) = match p.completed_at {
-                Some(t) if t > 0 => (p.delivered as f64 / time_to_s(t), true),
-                _ => (p.delivered as f64 / time_to_s(deadline), false),
+                Some(t) if t > start => (p.delivered as f64 / time_to_s(t - start), true),
+                _ => {
+                    // Ran until departure or deadline without finishing.
+                    let end = w.stop.unwrap_or(deadline).min(deadline);
+                    let elapsed = end.saturating_sub(start);
+                    let tput = if elapsed == 0 {
+                        0.0
+                    } else {
+                        p.delivered as f64 / time_to_s(elapsed)
+                    };
+                    (tput, false)
+                }
             };
             FlowRecord {
-                src: f.src,
-                dsts: f.dsts.clone(),
+                src: w.spec.src,
+                dsts: w.spec.dsts.clone(),
                 delivered: p.delivered,
                 throughput_pps,
                 completed,
                 completed_at_s: p.completed_at.map(time_to_s),
+                started_at_s: dynamic.then(|| time_to_s(start)),
+                // A departure only counts if the flow had not already
+                // completed its budget when it fired.
+                stopped_at_s: w
+                    .stop
+                    .filter(|&s| p.completed_at.is_none_or(|t| t > s))
+                    .map(time_to_s),
+                latency_s: if dynamic {
+                    p.completed_at
+                        .filter(|&t| t > start)
+                        .map(|t| time_to_s(t - start))
+                } else {
+                    None
+                },
             }
         })
         .collect();
@@ -486,6 +720,216 @@ mod test {
             .try_run()
             .expect_err("mismatched sweep/traffic must surface as a value");
         assert!(matches!(err, BuildError::Unsupported(_)));
+    }
+
+    #[test]
+    fn load_sweep_without_poisson_is_an_error_before_running() {
+        let err = Scenario::named("bad-load")
+            .pair(NodeId(0), NodeId(19))
+            .protocol("MORE")
+            .sweep(Sweep::Load(vec![0.1, 0.5]))
+            .packets(8)
+            .try_run()
+            .expect_err("Sweep::Load needs Poisson traffic");
+        assert!(matches!(err, BuildError::Unsupported(_)));
+    }
+
+    #[test]
+    fn load_sweep_runs_dynamic_arrivals_across_protocols() {
+        // The acceptance scenario: a Poisson arrival-rate sweep for MORE,
+        // ExOR, and Srcr, with flows starting (and possibly stopping)
+        // mid-run, surfaced per flow in the records.
+        let records = Scenario::named("load")
+            .testbed(1)
+            .traffic_model(TrafficModelSpec::Poisson {
+                rate_per_s: 0.1,
+                mean_hold_s: 20.0,
+                max_active: 2,
+            })
+            .protocols(["MORE", "ExOR", "Srcr"])
+            .sweep(Sweep::Load(vec![0.1, 0.3]))
+            .k(8)
+            .packets(16)
+            .deadline(90)
+            .run();
+        assert_eq!(records.len(), 3 * 2);
+        assert!(records.iter().all(|r| r.param == Some("load")));
+        assert!(records.iter().any(|r| r.value == Some(0.3)));
+        // Every flow of a dynamic run carries its arrival time, and at
+        // least one flow genuinely arrived mid-run.
+        for r in &records {
+            for f in &r.flows {
+                assert!(f.started_at_s.is_some(), "missing arrival: {r:?}");
+            }
+        }
+        assert!(
+            records
+                .iter()
+                .flat_map(|r| &r.flows)
+                .any(|f| f.started_at_s.is_some_and(|s| s > 0.0)),
+            "no mid-run arrival in the whole sweep"
+        );
+        // The same rate point sees the same arrival process for every
+        // protocol (the fairness property the comparison rests on).
+        let arrivals = |proto: &str| -> Vec<Vec<Option<f64>>> {
+            records
+                .iter()
+                .filter(|r| r.protocol == proto)
+                .map(|r| r.flows.iter().map(|f| f.started_at_s).collect())
+                .collect()
+        };
+        assert_eq!(arrivals("MORE"), arrivals("Srcr"));
+        assert_eq!(arrivals("MORE"), arrivals("ExOR"));
+    }
+
+    #[test]
+    fn bad_traffic_parameters_fail_at_build_time() {
+        // A zero arrival rate must be rejected before any worker thread
+        // could panic on it — whether set directly or via the sweep.
+        let poisson = |rate| TrafficModelSpec::Poisson {
+            rate_per_s: rate,
+            mean_hold_s: 10.0,
+            max_active: 2,
+        };
+        let direct = Scenario::named("bad-rate")
+            .traffic_model(poisson(0.0))
+            .protocol("MORE")
+            .packets(8)
+            .try_run()
+            .expect_err("zero arrival rate");
+        assert!(matches!(direct, BuildError::Unsupported(_)));
+        let swept = Scenario::named("bad-swept-rate")
+            .traffic_model(poisson(0.1))
+            .protocol("MORE")
+            .sweep(Sweep::Load(vec![0.1, 0.0]))
+            .packets(8)
+            .try_run()
+            .expect_err("zero swept arrival rate");
+        assert!(matches!(swept, BuildError::Unsupported(_)));
+        // A ramp wanting more distinct sources than the topology has must
+        // error from the grid, not panic inside a worker thread.
+        let infeasible = Scenario::named("bad-sources")
+            .testbed(1)
+            .traffic_model(TrafficModelSpec::Staggered {
+                n_flows: 25, // testbed has 20 nodes
+                gap_ms: 10,
+                hold_ms: None,
+            })
+            .protocol("MORE")
+            .packets(8)
+            .try_run()
+            .expect_err("25 distinct sources on a 20-node mesh");
+        assert!(matches!(infeasible, BuildError::Unsupported(_)));
+        // A staggered ramp reaching past the deadline would silently drop
+        // its tail; reject it instead.
+        let ramp = Scenario::named("bad-ramp")
+            .traffic_model(TrafficModelSpec::Staggered {
+                n_flows: 10,
+                gap_ms: 20_000,
+                hold_ms: None,
+            })
+            .protocol("MORE")
+            .packets(8)
+            .deadline(60)
+            .try_run()
+            .expect_err("ramp exceeds the deadline");
+        assert!(matches!(ramp, BuildError::Unsupported(_)));
+    }
+
+    #[test]
+    fn swept_parameter_is_validated_instead_of_the_base_placeholder() {
+        // The base n_flows (64, whose ramp would blow past the deadline)
+        // never runs — Sweep::Flows replaces it per point — so only the
+        // swept values may be validated.
+        let records = Scenario::named("swept-ramp")
+            .testbed(1)
+            .traffic_model(TrafficModelSpec::Staggered {
+                n_flows: 64,
+                gap_ms: 10_000,
+                hold_ms: None,
+            })
+            .protocol("Srcr")
+            .sweep(Sweep::Flows(vec![1, 2]))
+            .packets(8)
+            .deadline(120)
+            .run();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].flows.len(), 2);
+        // And an invalid *swept* value is still rejected up front.
+        let err = Scenario::named("swept-ramp-bad")
+            .testbed(1)
+            .traffic_model(TrafficModelSpec::Staggered {
+                n_flows: 2,
+                gap_ms: 10_000,
+                hold_ms: None,
+            })
+            .protocol("Srcr")
+            .sweep(Sweep::Flows(vec![1, 64]))
+            .packets(8)
+            .deadline(120)
+            .try_run()
+            .expect_err("swept ramp exceeds the deadline");
+        assert!(matches!(err, BuildError::Unsupported(_)));
+    }
+
+    #[test]
+    fn pending_departure_does_not_inflate_run_time() {
+        // The flow finishes its budget in well under a second; the
+        // scheduled 60 s departure must not keep the run alive (a Stop
+        // cannot un-resolve a flow) nor be reported as a departure.
+        let records = Scenario::named("early-finish")
+            .topology(TopologySpec::Line {
+                hops: 2,
+                p_adj: 0.9,
+                skip_decay: 0.3,
+                spacing: 25.0,
+            })
+            .traffic_model(TrafficModelSpec::Staggered {
+                n_flows: 1,
+                gap_ms: 0,
+                hold_ms: Some(60_000),
+            })
+            .protocol("MORE")
+            .packets(16)
+            .deadline(120)
+            .run();
+        let r = &records[0];
+        assert!(r.all_completed(), "{r:?}");
+        assert!(
+            r.sim_time_s < 5.0,
+            "run lingered until the moot departure: {r:?}"
+        );
+        assert_eq!(r.flows[0].stopped_at_s, None, "completed before the stop");
+        assert!(r.flows[0].latency_s.is_some());
+    }
+
+    #[test]
+    fn staggered_departures_cut_flows_short() {
+        let records = Scenario::named("ramp")
+            .testbed(1)
+            .traffic_model(TrafficModelSpec::Staggered {
+                n_flows: 2,
+                gap_ms: 500,
+                hold_ms: Some(1_000),
+            })
+            .protocol("Srcr")
+            .packets(100_000) // far more than 1 s can carry
+            .deadline(30)
+            .run();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.flows.len(), 2);
+        for (i, f) in r.flows.iter().enumerate() {
+            let start = i as f64 * 0.5;
+            assert_eq!(f.started_at_s, Some(start));
+            assert_eq!(f.stopped_at_s, Some(start + 1.0));
+            assert!(!f.completed, "a truncated flow cannot complete");
+            assert!(f.delivered > 0, "flow {i} moved nothing while active");
+            assert_eq!(f.latency_s, None);
+        }
+        // end_flow really halts the flows: the run ends at the last
+        // departure, not at the 30 s deadline.
+        assert!(r.sim_time_s < 5.0, "halted flows kept the run alive: {r:?}");
     }
 
     #[test]

@@ -33,8 +33,15 @@
 //!   [`ProtocolFactory`] (over any [`mesh_sim::FlowAgent`]) registers
 //!   alongside them — from outside this crate — and runs in the same
 //!   scenarios on the same seeds.
+//! * [`TrafficModel`] / [`TrafficModelSpec`] — workloads are pluggable
+//!   objects too: the legacy static [`TrafficSpec`] expansion is one
+//!   model among several (Poisson arrivals, on-off sources, staggered
+//!   ramps), and dynamic models start and stop flows *mid-run* through
+//!   the protocol's [`mesh_sim::FlowAgent`] lifecycle hooks.
 //! * [`exec::par_map`] — the scoped-thread parallel map underneath
 //!   every sweep.
+
+#![deny(missing_docs)]
 
 pub mod builder;
 pub mod exec;
@@ -42,6 +49,7 @@ pub mod protocols;
 pub mod record;
 pub mod registry;
 pub mod spec;
+pub mod traffic;
 
 pub use builder::{Scenario, ScenarioBuilder};
 pub use mesh_sim::{ChannelModel, ChannelSpec};
@@ -49,3 +57,7 @@ pub use protocols::{ExorFactory, MoreFactory, SrcrFactory};
 pub use record::{FlowRecord, RunRecord};
 pub use registry::{BuildError, ProtocolFactory, ProtocolRegistry};
 pub use spec::{random_pairs, scale_loss, ExpConfig, FlowSpec, Sweep, TopologySpec, TrafficSpec};
+pub use traffic::{
+    FlowEvent, OnOffModel, PoissonModel, StaggeredModel, StaticModel, TrafficModel,
+    TrafficModelSpec, TRAFFIC_STREAM,
+};

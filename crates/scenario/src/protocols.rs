@@ -72,6 +72,7 @@ impl ProtocolFactory for MoreFactory {
 
 /// ExOR with its strict batch scheduler.
 pub struct ExorFactory {
+    /// Base protocol config; `k` is overridden by [`ExpConfig::k`].
     pub cfg: ExorConfig,
     name: String,
 }
@@ -86,6 +87,7 @@ impl Default for ExorFactory {
 }
 
 impl ExorFactory {
+    /// An ExOR variant under a distinct registry name.
     pub fn named(name: impl Into<String>, cfg: ExorConfig) -> Self {
         ExorFactory {
             cfg,
@@ -128,6 +130,7 @@ impl ProtocolFactory for ExorFactory {
 
 /// Srcr (best-path source routing), fixed-rate or with Onoe autorate.
 pub struct SrcrFactory {
+    /// Base protocol config; the bit-rate comes from [`ExpConfig`].
     pub cfg: SrcrConfig,
     name: String,
 }
@@ -152,6 +155,7 @@ impl SrcrFactory {
         }
     }
 
+    /// A Srcr variant under a distinct registry name.
     pub fn named(name: impl Into<String>, cfg: SrcrConfig) -> Self {
         SrcrFactory {
             cfg,

@@ -6,6 +6,7 @@ use mesh_topology::NodeId;
 /// One flow's outcome within a run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FlowRecord {
+    /// Source node.
     pub src: NodeId,
     /// First (or only) destination; multicast flows list all in `dsts`.
     pub dsts: Vec<NodeId>,
@@ -18,6 +19,18 @@ pub struct FlowRecord {
     pub completed: bool,
     /// Completion time in simulated seconds, when completed.
     pub completed_at_s: Option<f64>,
+    /// When the flow arrived, simulated seconds. `None` for static
+    /// workloads (every flow starts at 0), and the `started_at_s` /
+    /// `stopped_at_s` / `latency_s` JSON keys are omitted entirely so
+    /// static output stays byte-identical to the pre-traffic-model
+    /// engine.
+    pub started_at_s: Option<f64>,
+    /// When the traffic model withdrew the flow mid-run, simulated
+    /// seconds; `None` when it ran to completion or deadline.
+    pub stopped_at_s: Option<f64>,
+    /// Completion latency: `completed_at_s − started_at_s`, for completed
+    /// flows of dynamic workloads.
+    pub latency_s: Option<f64>,
 }
 
 /// One simulator run: a (scenario, protocol, sweep point, seed,
@@ -78,9 +91,25 @@ impl RunRecord {
             .iter()
             .map(|f| {
                 let dsts: Vec<String> = f.dsts.iter().map(|d| d.0.to_string()).collect();
+                // Flow-lifecycle keys only exist for dynamic workloads:
+                // static runs must stay byte-identical to the
+                // pre-traffic-model engine (tests/traffic_equivalence.rs).
+                let lifecycle = match f.started_at_s {
+                    None => String::new(),
+                    Some(start) => format!(
+                        ", \"started_at_s\": {}, \"stopped_at_s\": {}, \"latency_s\": {}",
+                        fmt_f64(start),
+                        f.stopped_at_s
+                            .map(fmt_f64)
+                            .unwrap_or_else(|| "null".to_string()),
+                        f.latency_s
+                            .map(fmt_f64)
+                            .unwrap_or_else(|| "null".to_string()),
+                    ),
+                };
                 format!(
                     "{{\"src\": {}, \"dsts\": [{}], \"delivered\": {}, \
-                     \"throughput_pps\": {}, \"completed\": {}, \"completed_at_s\": {}}}",
+                     \"throughput_pps\": {}, \"completed\": {}, \"completed_at_s\": {}{}}}",
                     f.src.0,
                     dsts.join(", "),
                     f.delivered,
@@ -89,6 +118,7 @@ impl RunRecord {
                     f.completed_at_s
                         .map(fmt_f64)
                         .unwrap_or_else(|| "null".to_string()),
+                    lifecycle,
                 )
             })
             .collect();
@@ -127,15 +157,16 @@ impl RunRecord {
     /// per flow (runs with several flows emit several rows).
     pub const CSV_HEADER: &'static str = "scenario,protocol,topology,channel,param,value,seed,\
          traffic_index,flow_index,src,dst,delivered,throughput_pps,completed,\
-         completed_at_s,total_tx,concurrency,sim_time_s";
+         completed_at_s,started_at_s,stopped_at_s,latency_s,total_tx,concurrency,sim_time_s";
 
+    /// One CSV row per flow, matching [`RunRecord::CSV_HEADER`].
     pub fn to_csv_rows(&self) -> Vec<String> {
         self.flows
             .iter()
             .enumerate()
             .map(|(i, f)| {
                 format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     csv_field(&self.scenario),
                     csv_field(&self.protocol),
                     csv_field(&self.topology),
@@ -155,6 +186,9 @@ impl RunRecord {
                     fmt_f64(f.throughput_pps),
                     f.completed,
                     f.completed_at_s.map(fmt_f64).unwrap_or_default(),
+                    f.started_at_s.map(fmt_f64).unwrap_or_default(),
+                    f.stopped_at_s.map(fmt_f64).unwrap_or_default(),
+                    f.latency_s.map(fmt_f64).unwrap_or_default(),
                     self.total_tx,
                     fmt_f64(self.concurrency),
                     fmt_f64(self.sim_time_s),
@@ -251,6 +285,9 @@ mod test {
                 throughput_pps: 151.25,
                 completed: true,
                 completed_at_s: Some(2.54),
+                started_at_s: None,
+                stopped_at_s: None,
+                latency_s: None,
             }],
             total_tx: 900,
             concurrency: 0.12,
@@ -303,6 +340,31 @@ mod test {
         assert!(RunRecord::CSV_HEADER.contains(",channel,"));
         let csv = to_csv(&[r.clone()]);
         assert!(csv.contains(&r.channel));
+    }
+
+    #[test]
+    fn lifecycle_keys_omitted_for_static_flows_present_otherwise() {
+        // Static flow (started_at_s = None): byte-compat, no lifecycle keys.
+        assert!(!to_json(&[sample()]).contains("started_at_s"));
+        // Dynamic flow: all three keys appear.
+        let mut r = sample();
+        r.flows[0].started_at_s = Some(1.5);
+        r.flows[0].stopped_at_s = Some(9.0);
+        r.flows[0].latency_s = Some(1.04);
+        let json = to_json(&[r]);
+        let v = mesh_topology::json::parse(&json).expect("valid JSON");
+        let flow = &v.as_arr().unwrap()[0]
+            .get("flows")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0];
+        assert_eq!(flow.get("started_at_s").unwrap().as_f64(), Some(1.5));
+        assert_eq!(flow.get("stopped_at_s").unwrap().as_f64(), Some(9.0));
+        assert_eq!(flow.get("latency_s").unwrap().as_f64(), Some(1.04));
+        // CSV always carries the columns.
+        for col in ["started_at_s", "stopped_at_s", "latency_s"] {
+            assert!(RunRecord::CSV_HEADER.contains(col), "missing {col}");
+        }
     }
 
     #[test]

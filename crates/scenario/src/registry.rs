@@ -116,10 +116,12 @@ impl ProtocolRegistry {
         self.factories.iter().map(|f| f.name()).collect()
     }
 
+    /// Number of registered factories.
     pub fn len(&self) -> usize {
         self.factories.len()
     }
 
+    /// No factories registered?
     pub fn is_empty(&self) -> bool {
         self.factories.is_empty()
     }

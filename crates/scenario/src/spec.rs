@@ -42,12 +42,16 @@ impl Default for ExpConfig {
 /// multicast), and a packet count.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FlowSpec {
+    /// Source node.
     pub src: NodeId,
+    /// One destination (unicast) or several (multicast).
     pub dsts: Vec<NodeId>,
+    /// Packet budget of the transfer.
     pub packets: usize,
 }
 
 impl FlowSpec {
+    /// A single-destination flow.
     pub fn unicast(src: NodeId, dst: NodeId, packets: usize) -> Self {
         FlowSpec {
             src,
@@ -56,6 +60,7 @@ impl FlowSpec {
         }
     }
 
+    /// More than one destination?
     pub fn is_multicast(&self) -> bool {
         self.dsts.len() > 1
     }
@@ -70,33 +75,59 @@ impl FlowSpec {
 #[derive(Clone)]
 pub enum TopologySpec {
     /// The 20-node, 3-floor testbed generator (Fig 4-1), by seed.
-    Testbed { seed: u64 },
+    Testbed {
+        /// Placement seed.
+        seed: u64,
+    },
     /// Smaller/larger testbed-style mesh.
-    TestbedSized { n: usize, seed: u64 },
+    TestbedSized {
+        /// Node count.
+        n: usize,
+        /// Placement seed.
+        seed: u64,
+    },
     /// A line of `hops` hops (`hops + 1` nodes).
     Line {
+        /// Hop count.
         hops: usize,
+        /// Adjacent-link delivery probability.
         p_adj: f64,
+        /// Per-skipped-hop delivery decay.
         skip_decay: f64,
+        /// Node spacing, meters.
         spacing: f64,
     },
     /// A `w × h` grid.
     Grid {
+        /// Grid width in nodes.
         w: usize,
+        /// Grid height in nodes.
         h: usize,
+        /// Adjacent-link delivery probability.
         p_adj: f64,
+        /// Diagonal-link delivery probability.
         p_diag: f64,
+        /// Node spacing, meters.
         spacing: f64,
     },
     /// A random scattered mesh, by seed.
     RandomMesh {
+        /// Node count.
         n: usize,
+        /// Area width, meters.
         width: f64,
+        /// Area depth, meters.
         depth: f64,
+        /// Placement seed.
         seed: u64,
     },
     /// The Fig 5-1 diamond with `k` middle forwarders.
-    Diamond { k: usize, p: f64 },
+    Diamond {
+        /// Number of middle forwarders.
+        k: usize,
+        /// Source→forwarder and forwarder→destination delivery.
+        p: f64,
+    },
     /// A fixed, caller-supplied topology.
     Fixed(Arc<Topology>),
     /// Arbitrary generator; receives the *run seed* so per-run topologies
@@ -185,12 +216,22 @@ pub fn scale_loss(topo: &Topology, factor: f64) -> Topology {
 #[derive(Clone, Debug)]
 pub enum TrafficSpec {
     /// One unicast transfer.
-    SinglePair { src: NodeId, dst: NodeId },
+    SinglePair {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
     /// One independent run per listed pair.
     EachPair(Vec<(NodeId, NodeId)>),
     /// Deterministically samples `count` distinct reachable ordered pairs
     /// (seeded independently of the run seed), one run per pair.
-    RandomPairs { count: usize, seed: u64 },
+    RandomPairs {
+        /// Number of pairs (capped at the reachable-pair count).
+        count: usize,
+        /// Sampling seed, independent of the run seed.
+        seed: u64,
+    },
     /// One run with all listed flows concurrent.
     Concurrent(Vec<(NodeId, NodeId)>),
     /// One run of `n_flows` concurrent flows whose endpoints are sampled
@@ -198,12 +239,20 @@ pub enum TrafficSpec {
     /// Fig 4-5 construction). Sources are distinct when
     /// `distinct_sources`.
     RandomConcurrent {
+        /// Concurrent flow count.
         n_flows: usize,
+        /// Added to the run seed for endpoint sampling.
         seed_offset: u64,
+        /// Require pairwise-distinct sources.
         distinct_sources: bool,
     },
     /// One run with a single multicast flow.
-    Multicast { src: NodeId, dsts: Vec<NodeId> },
+    Multicast {
+        /// Source node.
+        src: NodeId,
+        /// Destination set (must be non-empty).
+        dsts: Vec<NodeId>,
+    },
 }
 
 impl TrafficSpec {
@@ -252,18 +301,26 @@ impl TrafficSpec {
                 );
                 vec![flows]
             }
-            TrafficSpec::Multicast { src, dsts } => vec![vec![FlowSpec {
-                src: *src,
-                dsts: dsts.clone(),
-                packets,
-            }]],
+            TrafficSpec::Multicast { src, dsts } => {
+                assert!(
+                    !dsts.is_empty(),
+                    "multicast flow from {src} needs at least one destination"
+                );
+                vec![vec![FlowSpec {
+                    src: *src,
+                    dsts: dsts.clone(),
+                    packets,
+                }]]
+            }
         }
     }
 }
 
-/// Deterministically samples `count` distinct reachable ordered pairs.
-pub fn random_pairs(topo: &Topology, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
-    let mut all: Vec<(NodeId, NodeId)> = Vec::new();
+/// All reachable ordered pairs of a topology, in node order — the one
+/// definition of "reachable pair" shared by pair sampling and the
+/// traffic models.
+pub(crate) fn reachable_pairs(topo: &Topology) -> Vec<(NodeId, NodeId)> {
+    let mut all = Vec::new();
     for s in topo.nodes() {
         for d in topo.nodes() {
             if s != d && topo.hop_count(s, d).is_some() {
@@ -271,6 +328,12 @@ pub fn random_pairs(topo: &Topology, count: usize, seed: u64) -> Vec<(NodeId, No
             }
         }
     }
+    all
+}
+
+/// Deterministically samples `count` distinct reachable ordered pairs.
+pub fn random_pairs(topo: &Topology, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut all = reachable_pairs(topo);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     all.shuffle(&mut rng);
     all.truncate(count);
@@ -295,9 +358,14 @@ pub enum Sweep {
     /// sweep value is the point's index, the record's `channel` key
     /// carries the spec label).
     Channel(Vec<ChannelSpec>),
+    /// Offered-load sweep: flow arrival rates (flows/s) applied to a
+    /// [`crate::TrafficModelSpec::Poisson`] traffic model — the classic
+    /// offered-load-vs-throughput construction.
+    Load(Vec<f64>),
 }
 
 impl Sweep {
+    /// The record's `param` key for this sweep axis.
     pub fn label(&self) -> &'static str {
         match self {
             Sweep::Packets(_) => "packets",
@@ -306,9 +374,11 @@ impl Sweep {
             Sweep::LossScale(_) => "loss_scale",
             Sweep::Flows(_) => "flows",
             Sweep::Channel(_) => "channel",
+            Sweep::Load(_) => "load",
         }
     }
 
+    /// Number of sweep points.
     pub fn len(&self) -> usize {
         match self {
             Sweep::Packets(v) => v.len(),
@@ -317,9 +387,11 @@ impl Sweep {
             Sweep::LossScale(v) => v.len(),
             Sweep::Flows(v) => v.len(),
             Sweep::Channel(v) => v.len(),
+            Sweep::Load(v) => v.len(),
         }
     }
 
+    /// No sweep points at all?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -333,6 +405,7 @@ impl Sweep {
             Sweep::LossScale(v) => v[i],
             Sweep::Flows(v) => v[i] as f64,
             Sweep::Channel(_) => i as f64,
+            Sweep::Load(v) => v[i],
         }
     }
 }
@@ -370,6 +443,61 @@ mod test {
         for l in topo.links() {
             assert!((same.delivery(l.from, l.to) - l.delivery).abs() < 1e-12);
         }
+    }
+
+    /// Two disconnected cliques: pairs across the gap are unreachable.
+    fn split_topology() -> Topology {
+        let mut m = vec![vec![0.0; 4]; 4];
+        m[0][1] = 0.9;
+        m[1][0] = 0.9;
+        m[2][3] = 0.9;
+        m[3][2] = 0.9;
+        Topology::from_matrix("split", m)
+    }
+
+    #[test]
+    fn random_pairs_skips_unreachable_pairs_and_truncates() {
+        let topo = split_topology();
+        // 4 nodes → 12 ordered pairs, but only 4 are reachable; asking
+        // for more must yield every reachable pair, never an unreachable
+        // one, and never panic.
+        let pairs = random_pairs(&topo, 100, 3);
+        assert_eq!(pairs.len(), 4, "only the intra-component pairs exist");
+        for (s, d) in &pairs {
+            assert!(topo.hop_count(*s, *d).is_some(), "{s}->{d} unreachable");
+        }
+        let sets = TrafficSpec::RandomPairs {
+            count: 100,
+            seed: 3,
+        }
+        .flow_sets(&topo, 1, 16);
+        assert_eq!(sets.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn random_concurrent_infeasible_distinct_sources_panics_clearly() {
+        // 3 hops of line: 4 nodes, so at most 4 distinct sources exist
+        // (fewer with distinct reachable targets); asking for 5 is
+        // impossible and must fail loudly, not silently under-provision.
+        let topo = generate::line(3, 0.9, 0.3, 25.0);
+        let spec = TrafficSpec::RandomConcurrent {
+            n_flows: 5,
+            seed_offset: 0,
+            distinct_sources: true,
+        };
+        let _ = spec.flow_sets(&topo, 1, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one destination")]
+    fn multicast_with_no_destinations_panics_clearly() {
+        let topo = generate::testbed(1);
+        let spec = TrafficSpec::Multicast {
+            src: NodeId(0),
+            dsts: Vec::new(),
+        };
+        let _ = spec.flow_sets(&topo, 1, 16);
     }
 
     #[test]
