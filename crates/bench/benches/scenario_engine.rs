@@ -152,11 +152,51 @@ fn bench_scenario_grid(c: &mut Criterion) {
     group.finish();
 }
 
+/// Streaming-sink cost over the same grid: the default Collect path
+/// (the legacy materialize-everything shape, which must stay at
+/// pre-streaming speed) against the bounded-memory Aggregate sink.
+fn bench_sink_pipeline(c: &mut Criterion) {
+    use more_scenario::sink::{Aggregate, Collect};
+    let mut group = c.benchmark_group("scenario_engine/sink");
+    let topo = Arc::new(line());
+    let builder = |topo: &Arc<mesh_topology::Topology>| {
+        Scenario::named("bench")
+            .topology(TopologySpec::Fixed(topo.clone()))
+            .traffic(TrafficSpec::SinglePair {
+                src: NodeId(0),
+                dst: NodeId(3),
+            })
+            .protocols(["Srcr", "MORE"])
+            .packets(32)
+            .deadline(120)
+            .seeds(1..=2)
+            .threads(1)
+    };
+    group.bench_function("collect", |b| {
+        b.iter(|| {
+            let mut sink = Collect::new();
+            let summary = builder(&topo).run_with_sink(&mut sink);
+            assert_eq!(summary.records_high_water, 4, "Collect holds the grid");
+            black_box(summary.records)
+        })
+    });
+    group.bench_function("aggregate", |b| {
+        b.iter(|| {
+            let mut sink = Aggregate::new();
+            let summary = builder(&topo).run_with_sink(&mut sink);
+            assert!(summary.records_high_water <= 1, "bounded memory");
+            black_box(summary.records)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     scenario_engine,
     bench_direct_dispatch,
     bench_channel_models,
     bench_traffic_models,
-    bench_scenario_grid
+    bench_scenario_grid,
+    bench_sink_pipeline
 );
 criterion_main!(scenario_engine);

@@ -1,0 +1,173 @@
+//! Scenario-engine benchmark: grid throughput and peak records-in-memory
+//! for the streaming results pipeline, plus a resumable-sweep demo.
+//!
+//! Default mode runs the same protocol × K × seed grid three ways and
+//! writes `BENCH_engine.json`:
+//!
+//! * `collect` — the legacy materialize-everything path (the "before":
+//!   every [`more_scenario::RunRecord`] lives in memory until the end,
+//!   so the high-water mark is the whole grid);
+//! * `aggregate` — bounded-memory per-cell summaries (the "after": the
+//!   high-water mark is just the executor's reorder buffer, O(workers));
+//! * `jsonl` — incremental file streaming.
+//!
+//! ```sh
+//! cargo run --release -p more-bench --bin bench_engine -- --runs 64
+//! ```
+//!
+//! `--resume-demo DIR` instead runs a checkpointed JSONL/CSV sweep under
+//! `DIR` — kill it mid-run (`SIGTERM`) and re-invoke with the same
+//! arguments and it resumes from the manifest, finishing byte-identical
+//! to an uninterrupted run (CI exercises exactly that round-trip).
+
+use more_bench::common::{banner, threads, Args};
+use more_scenario::sink::{Aggregate, Collect, CsvAppend, JsonLines, Tee};
+use more_scenario::{RunSummary, Scenario, ScenarioBuilder, Sweep, TopologySpec, TrafficSpec};
+use std::time::Instant;
+
+/// The benchmark grid: 2 protocols × 2 batch sizes × `seeds` seeds over
+/// a 3-hop line (fast enough to sweep, slow enough to parallelize).
+fn grid(seeds: u64) -> ScenarioBuilder {
+    Scenario::named("bench_engine")
+        .topology(TopologySpec::Line {
+            hops: 3,
+            p_adj: 0.85,
+            skip_decay: 0.2,
+            spacing: 25.0,
+        })
+        .traffic(TrafficSpec::SinglePair {
+            src: mesh_topology::NodeId(0),
+            dst: mesh_topology::NodeId(3),
+        })
+        .protocols(["MORE", "Srcr"])
+        .sweep(Sweep::K(vec![8, 16]))
+        .seeds(1..=seeds)
+        .packets(32)
+        .deadline(120)
+        .threads(threads())
+}
+
+struct Measured {
+    label: &'static str,
+    secs: f64,
+    runs: usize,
+    high_water: usize,
+}
+
+fn measure(
+    label: &'static str,
+    seeds: u64,
+    run: impl FnOnce(ScenarioBuilder) -> RunSummary,
+) -> Measured {
+    let t0 = Instant::now();
+    let summary = run(grid(seeds));
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "  {label:>9}: {} runs in {secs:.2} s ({:.1} runs/s), peak records in memory {}",
+        summary.records,
+        summary.records as f64 / secs,
+        summary.records_high_water,
+    );
+    Measured {
+        label,
+        secs,
+        runs: summary.records,
+        high_water: summary.records_high_water,
+    }
+}
+
+fn bench(args: &Args) {
+    banner("BENCH engine", "grid throughput and streaming-sink memory");
+    let runs: u64 = args.get("runs", 64);
+    let seeds = (runs / 4).max(1); // 2 protocols × 2 K points per seed
+    let out: String = args.get("out", "BENCH_engine.json".to_string());
+
+    let results = [
+        measure("collect", seeds, |b| {
+            let mut sink = Collect::new();
+            b.run_with_sink(&mut sink)
+        }),
+        measure("aggregate", seeds, |b| {
+            let mut sink = Aggregate::new();
+            b.run_with_sink(&mut sink)
+        }),
+        measure("jsonl", seeds, |b| {
+            let path = std::env::temp_dir().join("bench_engine.jsonl");
+            let mut sink = JsonLines::create(path.to_str().expect("utf-8 temp path"))
+                .expect("open temp JSONL");
+            b.run_with_sink(&mut sink)
+        }),
+    ];
+
+    let fields: Vec<String> = results
+        .iter()
+        .map(|m| {
+            format!(
+                "  \"{}\": {{\"secs\": {:.4}, \"runs_per_s\": {:.2}, \
+                 \"records_high_water\": {}}}",
+                m.label,
+                m.secs,
+                m.runs as f64 / m.secs,
+                m.high_water,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"scenario_engine_grid\",\n  \"threads\": {},\n  \
+         \"grid_runs\": {},\n{}\n}}\n",
+        threads(),
+        results[0].runs,
+        fields.join(",\n"),
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwritten to {out}");
+}
+
+fn resume_demo(args: &Args, dir: &str) {
+    banner("BENCH engine", "resumable checkpointed sweep demo");
+    let seeds: u64 = args.get("seeds", 6);
+    let jsonl = format!("{dir}/resume_demo.jsonl");
+    let csv = format!("{dir}/resume_demo.csv");
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {dir}: {e}"));
+    // Append-mode sinks + a checkpoint manifest: an interrupted run's
+    // bytes survive, the manifest says where to pick up.
+    let mut sink = Tee::new()
+        .with(JsonLines::append(&jsonl).unwrap_or_else(|e| panic!("open {jsonl}: {e}")))
+        .with(CsvAppend::append(&csv).unwrap_or_else(|e| panic!("open {csv}: {e}")));
+    let packets: usize = args.get("packets", 384);
+    let summary = Scenario::named("resume_demo")
+        .testbed(1)
+        .traffic(TrafficSpec::RandomPairs { count: 4, seed: 7 })
+        .protocols(["MORE", "Srcr", "ExOR"])
+        .seeds(1..=seeds)
+        .packets(packets)
+        .deadline(240)
+        .threads(threads())
+        .checkpoint(dir)
+        .on_run_complete(|r, p| {
+            println!(
+                "  [{}/{} cells] {} seed {} traffic {}: {:.1} pkt/s",
+                p.cells_done + 1,
+                p.cells_total,
+                r.protocol,
+                r.seed,
+                r.traffic_index,
+                r.mean_throughput(),
+            );
+        })
+        .run_with_sink(&mut sink);
+    println!(
+        "\n{} cells run, {} resumed from the manifest; records in {jsonl} and {csv}",
+        summary.cells_run, summary.cells_skipped,
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let demo_dir: String = args.get("resume-demo", String::new());
+    if demo_dir.is_empty() {
+        bench(&args);
+    } else {
+        resume_demo(&args, &demo_dir);
+    }
+}

@@ -30,7 +30,8 @@ use more_scenario::{Scenario, TopologySpec, TrafficSpec};
 use std::sync::Arc;
 
 pub use more_scenario::{
-    random_pairs, ChannelSpec, ExpConfig, ProtocolFactory, ProtocolRegistry, RunRecord, Sweep,
+    random_pairs, sink, ChannelSpec, ExpConfig, ProtocolFactory, ProtocolRegistry, RunRecord,
+    RunSummary, Sweep,
 };
 
 /// The paper's three-way comparison, in plotting order.

@@ -52,6 +52,10 @@ use mesh_topology::NodeId;
 /// Simulated time in microseconds.
 pub type Time = u64;
 
+/// The simulator tick — the smallest representable interval (1 µs).
+/// Downstream rate math clamps elapsed windows to at least one tick so
+/// a zero-width interval can never divide to a non-finite value.
+pub const TICK: Time = 1;
 /// One millisecond in [`Time`] units.
 pub const MS: Time = 1_000;
 /// One second in [`Time`] units.

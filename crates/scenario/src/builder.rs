@@ -12,16 +12,58 @@
 //! independent by construction.
 
 use crate::exec;
+use crate::manifest::{cell_key, Manifest};
 use crate::record::{time_to_s, FlowRecord, RunRecord};
 use crate::registry::{BuildError, ProtocolRegistry};
+use crate::sink::{Collect, RunSink};
 use crate::spec::{scale_loss, ExpConfig, FlowSpec, Sweep, TopologySpec, TrafficSpec};
-use crate::traffic::{flow_windows, FlowWindow, TrafficModelSpec};
+use crate::traffic::{flow_windows, validate_schedule, FlowWindow, TrafficModelSpec};
 use mesh_sim::{
     Bitrate, ChannelSpec, ErasedFlowAgent, FlowAgent, FlowDesc, SimConfig, Simulator,
-    TrafficAction, SEC,
+    TrafficAction, SEC, TICK,
 };
 use mesh_topology::estimator::LinkEstimator;
 use mesh_topology::{NodeId, Topology};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::ControlFlow;
+
+/// An owned sink as stored by [`ScenarioBuilder::sink`]: `Send + Sync`
+/// so the builder stays shareable with the executor's worker threads
+/// (borrowed sinks via [`ScenarioBuilder::try_run_with_sink`] carry no
+/// such bound — they never cross a thread).
+pub type BoxedSink = Box<dyn RunSink + Send + Sync>;
+
+/// A progress callback as stored by [`ScenarioBuilder::on_run_complete`].
+pub type ProgressFn = Box<dyn FnMut(&RunRecord, Progress) + Send + Sync>;
+
+/// Progress snapshot handed to [`ScenarioBuilder::on_run_complete`] as
+/// each record is emitted (in deterministic grid order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Progress {
+    /// Records emitted to the sink so far (this process; resumed cells
+    /// skipped from a manifest are not re-emitted).
+    pub records: usize,
+    /// Grid cells fully completed, including cells skipped on resume.
+    pub cells_done: usize,
+    /// Total grid cells of the sweep.
+    pub cells_total: usize,
+}
+
+/// What a streamed run did — returned by
+/// [`ScenarioBuilder::try_run_with_sink`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Records emitted to the sink.
+    pub records: usize,
+    /// Grid cells executed by this process.
+    pub cells_run: usize,
+    /// Grid cells skipped because a checkpoint manifest already had them.
+    pub cells_skipped: usize,
+    /// Peak records in memory at once: the executor's reorder buffer
+    /// plus [`RunSink::held`] — the streaming pipeline's RSS proxy.
+    /// O(workers) for streaming sinks, O(grid) for [`Collect`].
+    pub records_high_water: usize,
+}
 
 /// Entry point: `Scenario::named("fig4_2")` starts a builder.
 pub struct Scenario;
@@ -60,8 +102,8 @@ impl Scenario {
 /// Fluent scenario construction; see the crate docs for a worked
 /// example. Finish with [`ScenarioBuilder::run`] (or
 /// [`ScenarioBuilder::try_run`] to surface configuration errors as
-/// values).
-#[derive(Debug)]
+/// values), or stream records into a [`RunSink`] with
+/// [`ScenarioBuilder::try_run_with_sink`].
 pub struct ScenarioBuilder {
     name: String,
     topology: TopologySpec,
@@ -75,6 +117,25 @@ pub struct ScenarioBuilder {
     probe: Option<(LinkEstimator, u64)>,
     threads: Option<usize>,
     registry: ProtocolRegistry,
+    sink: Option<BoxedSink>,
+    on_complete: Option<ProgressFn>,
+    checkpoint_dir: Option<String>,
+}
+
+impl std::fmt::Debug for ScenarioBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioBuilder")
+            .field("name", &self.name)
+            .field("topology", &self.topology)
+            .field("traffic", &self.traffic)
+            .field("protocols", &self.protocols)
+            .field("sweep", &self.sweep)
+            .field("seeds", &self.seeds)
+            .field("channel", &self.channel)
+            .field("sink", &self.sink.as_ref().map(|_| ".."))
+            .field("checkpoint_dir", &self.checkpoint_dir)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ScenarioBuilder {
@@ -94,6 +155,9 @@ impl ScenarioBuilder {
             probe: None,
             threads: None,
             registry: ProtocolRegistry::with_defaults(),
+            sink: None,
+            on_complete: None,
+            checkpoint_dir: None,
         }
     }
 
@@ -285,14 +349,95 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Streams records into `sink` instead of collecting them:
+    /// [`ScenarioBuilder::try_run`] then returns an **empty** `Vec` and
+    /// the records live wherever the sink put them. Borrow-friendly
+    /// alternative: [`ScenarioBuilder::try_run_with_sink`].
+    ///
+    /// ```
+    /// use mesh_topology::NodeId;
+    /// use more_scenario::sink::Aggregate;
+    /// use more_scenario::{Scenario, TopologySpec};
+    ///
+    /// let records = Scenario::named("sink-doc")
+    ///     .topology(TopologySpec::Line {
+    ///         hops: 1,
+    ///         p_adj: 0.9,
+    ///         skip_decay: 0.0,
+    ///         spacing: 20.0,
+    ///     })
+    ///     .pair(NodeId(0), NodeId(1))
+    ///     .protocol("MORE")
+    ///     .packets(16)
+    ///     .deadline(60)
+    ///     .sink(Aggregate::new())
+    ///     .run();
+    /// assert!(records.is_empty(), "records streamed into the sink");
+    /// ```
+    pub fn sink(mut self, sink: impl RunSink + Send + Sync + 'static) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Registers a progress callback invoked once per emitted record, in
+    /// deterministic grid order, with a [`Progress`] snapshot — the hook
+    /// long sweeps use for live status lines.
+    pub fn on_run_complete(
+        mut self,
+        cb: impl FnMut(&RunRecord, Progress) + Send + Sync + 'static,
+    ) -> Self {
+        self.on_complete = Some(Box::new(cb));
+        self
+    }
+
+    /// Makes the sweep resumable: after every completed grid cell the
+    /// engine persists `<dir>/<scenario>.manifest.json` — the completed
+    /// cell keys plus a durable byte offset for every file the sink owns
+    /// (atomic temp-file + rename). When the manifest already exists,
+    /// the run **resumes**: completed cells are skipped, sink files are
+    /// trimmed to their last checkpoint (dropping any torn tail from a
+    /// mid-write kill), and the remaining cells append — ending
+    /// byte-identical to an uninterrupted run. Use the `append`
+    /// constructors of the file sinks ([`crate::sink::JsonLines::append`],
+    /// [`crate::sink::CsvAppend::append`]) so an earlier attempt's bytes
+    /// survive the reopen. Resuming into a purely in-memory sink
+    /// ([`Collect`], [`crate::sink::Aggregate`]) is rejected — it would
+    /// silently hold only the cells this process ran, not the resumed
+    /// prefix.
+    pub fn checkpoint(mut self, dir: impl Into<String>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
     /// Executes the grid, panicking on configuration errors (unknown
     /// protocol, unsupported traffic). Records arrive sorted by
-    /// (protocol, sweep point, seed, traffic index).
+    /// (protocol, sweep point, seed, traffic index). With a configured
+    /// [`ScenarioBuilder::sink`] the returned `Vec` is empty — the
+    /// records streamed into the sink instead.
     pub fn run(self) -> Vec<RunRecord> {
         match self.try_run() {
             Ok(records) => records,
             Err(e) => panic!("scenario failed: {e}"),
         }
+    }
+
+    /// Executes the grid, streaming every record into `sink` (in
+    /// deterministic grid order) and panicking on configuration errors.
+    pub fn run_with_sink(self, sink: &mut dyn RunSink) -> RunSummary {
+        match self.try_run_with_sink(sink) {
+            Ok(summary) => summary,
+            Err(e) => panic!("scenario failed: {e}"),
+        }
+    }
+
+    /// Executes the grid, streaming every record into `sink`, surfacing
+    /// configuration and I/O errors. The sink receives records in the
+    /// same deterministic order [`ScenarioBuilder::run`] returns them;
+    /// any sink configured via [`ScenarioBuilder::sink`] is ignored in
+    /// favor of the argument.
+    pub fn try_run_with_sink(mut self, sink: &mut dyn RunSink) -> Result<RunSummary, BuildError> {
+        self.sink = None;
+        self.stream_into(sink)
     }
 
     /// Checks that the declared sweep can be applied to the declared
@@ -378,9 +523,33 @@ impl ScenarioBuilder {
         Ok(())
     }
 
-    /// Executes the grid, surfacing configuration errors.
-    pub fn try_run(self) -> Result<Vec<RunRecord>, BuildError> {
+    /// Executes the grid, surfacing configuration errors. With a
+    /// configured [`ScenarioBuilder::sink`] the returned `Vec` is empty —
+    /// the records streamed into the sink instead; otherwise a default
+    /// [`Collect`] sink reproduces the legacy materialize-everything
+    /// behavior byte for byte.
+    pub fn try_run(mut self) -> Result<Vec<RunRecord>, BuildError> {
+        match self.sink.take() {
+            Some(mut sink) => {
+                self.stream_into(sink.as_mut())?;
+                Ok(Vec::new())
+            }
+            None => {
+                let mut collect = Collect::new();
+                self.stream_into(&mut collect)?;
+                Ok(collect.into_records())
+            }
+        }
+    }
+
+    /// The streaming core under every `run` flavor: executes the grid on
+    /// the sharded executor, restores deterministic grid order with a
+    /// bounded reorder buffer, and feeds `sink` one record at a time —
+    /// checkpointing each completed cell when
+    /// [`ScenarioBuilder::checkpoint`] is set.
+    fn stream_into(mut self, sink: &mut dyn RunSink) -> Result<RunSummary, BuildError> {
         self.validate_sweep_traffic()?;
+        let mut on_complete = self.on_complete.take();
         let protocols = if self.protocols.is_empty() {
             // No explicit selection: run everything registered.
             self.registry
@@ -395,7 +564,7 @@ impl ScenarioBuilder {
         let factories: Vec<_> = protocols
             .iter()
             .map(|name| self.registry.resolve(name))
-            .collect::<Result<_, _>>()?;
+            .collect::<Result<Vec<_>, _>>()?;
 
         let sweep_points: Vec<Option<usize>> = match &self.sweep {
             None => vec![None],
@@ -412,31 +581,173 @@ impl ScenarioBuilder {
                 }
             }
         }
+        let keys: Vec<String> = grid
+            .iter()
+            .map(|&(pi, sp, seed)| cell_key(&protocols[pi], sp, seed))
+            .collect();
+
+        // Checkpoint/resume: load (or start) the manifest, trim the sink
+        // files to their last durable offsets, and skip the completed
+        // prefix of the grid. The fingerprint covers everything the cell
+        // keys don't: resuming after changing packets, the swept values,
+        // the channel, etc. must be rejected, not silently mixed into
+        // one output file. (`Custom(..)` topologies/traffic fingerprint
+        // opaquely — two different custom closures are indistinguishable
+        // here.)
+        let fingerprint = format!(
+            "topo={:?} traffic={:?} sweep={:?} base={:?} sim={:?} channel={} probe={:?}",
+            self.topology,
+            self.traffic,
+            self.sweep,
+            self.base,
+            self.sim,
+            self.channel.label(),
+            self.probe,
+        );
+        let sink_err = |e: std::io::Error| BuildError::Sink(e.to_string());
+        let (mut manifest, manifest_path, skipped) = match &self.checkpoint_dir {
+            None => (None, String::new(), 0),
+            Some(dir) => {
+                let path = Manifest::path_for(dir, &self.name);
+                match Manifest::load(&path).map_err(sink_err)? {
+                    None => {
+                        // Fresh checkpointed sweep: claim the sink files
+                        // (drop bytes from any earlier un-manifested
+                        // attempt so append-mode sinks start clean).
+                        sink.rewind_to(&HashMap::new()).map_err(sink_err)?;
+                        (Some(Manifest::new(&self.name, &fingerprint)), path, 0)
+                    }
+                    Some(m) => {
+                        // Records are emitted in grid order, so a valid
+                        // manifest is always an exact prefix of this
+                        // grid with the same configuration; anything
+                        // else means the scenario changed under the
+                        // checkpoint.
+                        if m.scenario != self.name
+                            || m.config != fingerprint
+                            || m.cells.len() > keys.len()
+                            || m.cells[..] != keys[..m.cells.len()]
+                        {
+                            return Err(BuildError::Sink(format!(
+                                "manifest {path} does not match this scenario's grid \
+                                 or configuration (was the sweep reconfigured \
+                                 mid-resume?); delete it to restart the sweep"
+                            )));
+                        }
+                        // Resuming only makes sense into file-backed
+                        // sinks: an in-memory sink (Collect, Aggregate)
+                        // would silently hold just the non-skipped tail.
+                        if !m.cells.is_empty() && sink.offsets().map_err(sink_err)?.is_empty() {
+                            return Err(BuildError::Sink(format!(
+                                "manifest {path} has {} completed cell(s), but the \
+                                 attached sink owns no files to resume into — an \
+                                 in-memory sink would silently miss the completed \
+                                 prefix; use JsonLines/CsvAppend (append mode), or \
+                                 delete the manifest to restart the sweep",
+                                m.cells.len()
+                            )));
+                        }
+                        sink.rewind_to(&m.sink_offsets).map_err(sink_err)?;
+                        let skipped = m.cells.len();
+                        (Some(m), path, skipped)
+                    }
+                }
+            }
+        };
+        let todo: Vec<(usize, Option<usize>, u64)> = grid[skipped..].to_vec();
+        let cells_total = grid.len();
 
         let threads = self.threads.unwrap_or_else(exec::default_threads);
         let this = &self;
         let factories = &factories;
+        let protocols_ref = &protocols;
         // Probed routing beliefs depend only on (sweep point, seed), never
         // on the protocol — share one probe window across the whole grid.
-        let probe_cache: std::sync::Mutex<
-            std::collections::HashMap<(Option<usize>, u64), Topology>,
-        > = std::sync::Mutex::new(std::collections::HashMap::new());
+        let probe_cache: std::sync::Mutex<HashMap<(Option<usize>, u64), Topology>> =
+            std::sync::Mutex::new(HashMap::new());
         let probe_cache = &probe_cache;
-        let results: Vec<Result<Vec<RunRecord>, BuildError>> =
-            exec::par_map(grid, threads, |&(pi, sp, seed)| {
+
+        // Drain state: workers report cells in completion order; the
+        // reorder buffer holds out-of-order cells until their turn, so
+        // the sink always sees deterministic grid order while memory
+        // stays bounded by how far completion runs ahead of emission.
+        let mut pending: BTreeMap<usize, Vec<RunRecord>> = BTreeMap::new();
+        let mut pending_records = 0usize;
+        let mut next_emit = 0usize;
+        let mut emitted = 0usize;
+        let mut high_water = 0usize;
+        let mut failure: Option<BuildError> = None;
+
+        exec::par_map_streaming(
+            todo,
+            threads,
+            |&(pi, sp, seed)| {
                 this.run_cell(
-                    &protocols[pi],
+                    &protocols_ref[pi],
                     factories[pi].as_ref(),
                     sp,
                     seed,
                     probe_cache,
                 )
-            });
-        let mut records = Vec::new();
-        for cell in results {
-            records.extend(cell?);
+            },
+            |j, result| {
+                let records = match result {
+                    Ok(records) => records,
+                    Err(e) => {
+                        failure = Some(e);
+                        return ControlFlow::Break(());
+                    }
+                };
+                pending_records += records.len();
+                pending.insert(j, records);
+                high_water = high_water.max(pending_records + sink.held());
+                while let Some(records) = pending.remove(&next_emit) {
+                    pending_records -= records.len();
+                    for r in &records {
+                        if let Err(e) = sink.record(r) {
+                            failure = Some(BuildError::Sink(e.to_string()));
+                            return ControlFlow::Break(());
+                        }
+                        emitted += 1;
+                        high_water = high_water.max(pending_records + sink.held());
+                        if let Some(cb) = on_complete.as_mut() {
+                            cb(
+                                r,
+                                Progress {
+                                    records: emitted,
+                                    cells_done: skipped + next_emit,
+                                    cells_total,
+                                },
+                            );
+                        }
+                    }
+                    // Durability boundary: flush — and checkpoint — per
+                    // completed grid cell.
+                    let committed = match &mut manifest {
+                        Some(m) => sink.offsets().and_then(|offsets| {
+                            m.commit(&manifest_path, keys[skipped + next_emit].clone(), offsets)
+                        }),
+                        None => sink.flush(),
+                    };
+                    if let Err(e) = committed {
+                        failure = Some(BuildError::Sink(e.to_string()));
+                        return ControlFlow::Break(());
+                    }
+                    next_emit += 1;
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        if let Some(e) = failure {
+            return Err(e);
         }
-        Ok(records)
+        sink.finish().map_err(sink_err)?;
+        Ok(RunSummary {
+            records: emitted,
+            cells_run: next_emit,
+            cells_skipped: skipped,
+            records_high_water: high_water,
+        })
     }
 
     /// Runs every flow set of one (protocol, sweep point, seed) cell.
@@ -547,16 +858,14 @@ impl ScenarioBuilder {
         let schedules = model.schedules(&topo, seed, cfg.packets, horizon);
         let mut records = Vec::with_capacity(schedules.len());
         for (ti, schedule) in schedules.into_iter().enumerate() {
-            // Clamp the schedule to the run horizon: a flow arriving at or
-            // after the deadline never runs, a departure beyond it never
-            // fires.
-            let mut windows = flow_windows(&schedule);
-            windows.retain(|w| w.start < horizon);
-            for w in &mut windows {
-                if w.stop.is_some_and(|s| s >= horizon) {
-                    w.stop = None;
-                }
-            }
+            // A misbehaving Custom model (Stop for an unknown flow, Stop
+            // before its Start, events past the horizon) must surface as
+            // a BuildError from the grid, not a panic inside a worker
+            // thread; the built-ins satisfy this by construction.
+            validate_schedule(&schedule, horizon).map_err(|e| {
+                BuildError::InvalidSchedule(format!("traffic model {:?}: {e}", self.traffic))
+            })?;
+            let windows = flow_windows(&schedule);
             // Flows arriving at t = 0 are installed at construction — the
             // legacy path, byte-identical for static workloads; the rest
             // are injected mid-run through the agent's lifecycle hooks.
@@ -647,12 +956,20 @@ fn run_one(
                 Some(t) if t > start => (p.delivered as f64 / time_to_s(t - start), true),
                 _ => {
                     // Ran until departure or deadline without finishing.
+                    // A zero-width active window — a Poisson arrival at
+                    // the horizon edge, or a departure at the arrival
+                    // instant — must report 0.0 (the flow was never
+                    // active): a 0-width division would emit a
+                    // non-finite value that poisons NaN-intolerant
+                    // downstream stats. The TICK clamp is redundant
+                    // while `Time` is integer µs (end > start implies
+                    // ≥ 1 tick) — it pins the invariant against a
+                    // finer-grained Time ever landing.
                     let end = w.stop.unwrap_or(deadline).min(deadline);
-                    let elapsed = end.saturating_sub(start);
-                    let tput = if elapsed == 0 {
+                    let tput = if end <= start {
                         0.0
                     } else {
-                        p.delivered as f64 / time_to_s(elapsed)
+                        p.delivered as f64 / time_to_s((end - start).max(TICK))
                     };
                     (tput, false)
                 }

@@ -38,26 +38,40 @@
 //!   model among several (Poisson arrivals, on-off sources, staggered
 //!   ramps), and dynamic models start and stop flows *mid-run* through
 //!   the protocol's [`mesh_sim::FlowAgent`] lifecycle hooks.
-//! * [`exec::par_map`] — the scoped-thread parallel map underneath
-//!   every sweep.
+//! * [`sink::RunSink`] — results *stream*: each record is handed to a
+//!   sink the moment its grid cell completes (in deterministic grid
+//!   order). [`sink::Collect`] reproduces the legacy `Vec<RunRecord>`
+//!   byte for byte; [`sink::JsonLines`] / [`sink::CsvAppend`] write
+//!   files incrementally; [`sink::Aggregate`] folds bounded-memory
+//!   per-cell summaries; [`sink::Tee`] fans out. With
+//!   [`ScenarioBuilder::checkpoint`] a sweep becomes resumable: a
+//!   manifest of completed grid cells lets an interrupted run skip
+//!   finished work and append — byte-identical to an uninterrupted run.
+//! * [`exec::par_map`] / [`exec::par_map_streaming`] — the sharded
+//!   scoped-thread executor underneath every sweep: workers forward
+//!   completions through a channel drained by the caller, no global
+//!   lock on a slot vector.
 
 #![deny(missing_docs)]
 
 pub mod builder;
 pub mod exec;
+pub mod manifest;
 pub mod protocols;
 pub mod record;
 pub mod registry;
+pub mod sink;
 pub mod spec;
 pub mod traffic;
 
-pub use builder::{Scenario, ScenarioBuilder};
+pub use builder::{Progress, RunSummary, Scenario, ScenarioBuilder};
 pub use mesh_sim::{ChannelModel, ChannelSpec};
 pub use protocols::{ExorFactory, MoreFactory, SrcrFactory};
 pub use record::{FlowRecord, RunRecord};
 pub use registry::{BuildError, ProtocolFactory, ProtocolRegistry};
+pub use sink::{Aggregate, Collect, CsvAppend, JsonLines, RunSink, Tee};
 pub use spec::{random_pairs, scale_loss, ExpConfig, FlowSpec, Sweep, TopologySpec, TrafficSpec};
 pub use traffic::{
-    FlowEvent, OnOffModel, PoissonModel, StaggeredModel, StaticModel, TrafficModel,
-    TrafficModelSpec, TRAFFIC_STREAM,
+    validate_schedule, FlowEvent, OnOffModel, PoissonModel, StaggeredModel, StaticModel,
+    TrafficModel, TrafficModelSpec, TRAFFIC_STREAM,
 };

@@ -1,0 +1,194 @@
+//! Checkpoint manifests for resumable sweeps.
+//!
+//! When [`crate::ScenarioBuilder::checkpoint`] is set, the engine writes
+//! `<dir>/<scenario>.manifest.json` after **every completed grid cell**:
+//! the ordered list of completed cell keys plus, for each file the
+//! attached sink owns, the durable byte offset at that checkpoint. The
+//! write is atomic (temp file + rename), so a `SIGTERM`/`kill` mid-sweep
+//! leaves a consistent manifest; the sink files may carry a torn tail
+//! past the recorded offsets, which the resumed run trims via
+//! [`crate::sink::RunSink::rewind_to`] before appending.
+//!
+//! Because records are emitted in deterministic grid order, the manifest
+//! cells are always an exact **prefix** of the grid — a resumed sweep
+//! skips that prefix, appends the rest, and ends byte-identical to an
+//! uninterrupted run (enforced by `tests/streaming_pipeline.rs`).
+
+use std::collections::HashMap;
+use std::io;
+
+/// The persistent state of one checkpointed sweep.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Manifest {
+    /// Scenario name the manifest belongs to (guards against resuming a
+    /// different scenario into the same files).
+    pub scenario: String,
+    /// Fingerprint of the scenario configuration (topology, traffic,
+    /// sweep values, parameters, channel, probe) — the cell keys alone
+    /// only encode `(protocol, sweep index, seed)`, so without this a
+    /// resume after changing, say, `packets` or the swept K values
+    /// would silently mix incompatible results into one output file.
+    pub config: String,
+    /// Completed grid-cell keys, in emission (grid) order.
+    pub cells: Vec<String>,
+    /// Durable byte offset per sink file at the last checkpoint.
+    pub sink_offsets: HashMap<String, u64>,
+}
+
+impl Manifest {
+    /// An empty manifest for a fresh sweep.
+    pub fn new(scenario: &str, config: &str) -> Self {
+        Manifest {
+            scenario: scenario.to_string(),
+            config: config.to_string(),
+            ..Manifest::default()
+        }
+    }
+
+    /// The manifest path for a scenario under `dir`.
+    pub fn path_for(dir: &str, scenario: &str) -> String {
+        // Scenario names may contain path separators ("fig/4_2"); flatten
+        // them so the manifest stays directly under `dir`.
+        let flat: String = scenario
+            .chars()
+            .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+            .collect();
+        format!("{dir}/{flat}.manifest.json")
+    }
+
+    /// Loads the manifest at `path`; `Ok(None)` when none exists yet.
+    pub fn load(path: &str) -> io::Result<Option<Manifest>> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let v = mesh_topology::json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path}: {e:?}")))?;
+        let bad = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{path}: manifest missing {what}"),
+            )
+        };
+        let scenario = v
+            .get("scenario")
+            .and_then(|s| s.as_str())
+            .ok_or_else(|| bad("scenario"))?
+            .to_string();
+        let config = v
+            .get("config")
+            .and_then(|s| s.as_str())
+            .ok_or_else(|| bad("config"))?
+            .to_string();
+        let cells = v
+            .get("cells")
+            .and_then(|c| c.as_arr())
+            .ok_or_else(|| bad("cells"))?
+            .iter()
+            .map(|c| c.as_str().map(str::to_string).ok_or_else(|| bad("cell")))
+            .collect::<io::Result<Vec<_>>>()?;
+        let mut sink_offsets = HashMap::new();
+        if let Some(mesh_topology::json::Value::Obj(pairs)) = v.get("sinks") {
+            for (path, off) in pairs {
+                let off = off.as_f64().ok_or_else(|| bad("sink offset"))? as u64;
+                sink_offsets.insert(path.clone(), off);
+            }
+        }
+        Ok(Some(Manifest {
+            scenario,
+            config,
+            cells,
+            sink_offsets,
+        }))
+    }
+
+    /// Records a completed cell and the sinks' durable offsets, then
+    /// persists atomically (write temp, rename).
+    pub fn commit(
+        &mut self,
+        path: &str,
+        cell: String,
+        offsets: Vec<(String, u64)>,
+    ) -> io::Result<()> {
+        self.cells.push(cell);
+        for (p, o) in offsets {
+            self.sink_offsets.insert(p, o);
+        }
+        self.save(path)
+    }
+
+    /// Persists the manifest atomically at `path`.
+    pub fn save(&self, path: &str) -> io::Result<()> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| format!("\"{}\"", mesh_topology::json::escape(c)))
+            .collect();
+        let mut sinks: Vec<(&String, &u64)> = self.sink_offsets.iter().collect();
+        sinks.sort();
+        let sinks: Vec<String> = sinks
+            .into_iter()
+            .map(|(p, o)| format!("\"{}\": {o}", mesh_topology::json::escape(p)))
+            .collect();
+        let json = format!(
+            "{{\"scenario\": \"{}\", \"config\": \"{}\", \"cells\": [{}], \"sinks\": {{{}}}}}\n",
+            mesh_topology::json::escape(&self.scenario),
+            mesh_topology::json::escape(&self.config),
+            cells.join(", "),
+            sinks.join(", "),
+        );
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// The key of one grid cell — `(protocol, sweep point, seed)` — as the
+/// manifest stores it. Tab-separated so ordinary protocol names can
+/// never collide.
+pub fn cell_key(protocol: &str, sweep_point: Option<usize>, seed: u64) -> String {
+    match sweep_point {
+        Some(i) => format!("{protocol}\t{i}\t{seed}"),
+        None => format!("{protocol}\t-\t{seed}"),
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("more_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = Manifest::path_for(dir.to_str().unwrap(), "demo/run");
+        assert!(path.ends_with("demo_run.manifest.json"));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(Manifest::load(&path).unwrap(), None);
+
+        let mut m = Manifest::new("demo/run", "cfg-v1");
+        m.commit(
+            &path,
+            cell_key("MORE", Some(0), 1),
+            vec![("results/a.jsonl".into(), 120)],
+        )
+        .unwrap();
+        m.commit(
+            &path,
+            cell_key("Srcr", None, 2),
+            vec![("results/a.jsonl".into(), 240)],
+        )
+        .unwrap();
+        let loaded = Manifest::load(&path).unwrap().expect("exists");
+        assert_eq!(loaded, m);
+        assert_eq!(loaded.cells, vec!["MORE\t0\t1", "Srcr\t-\t2"]);
+        assert_eq!(loaded.sink_offsets["results/a.jsonl"], 240);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -85,7 +85,10 @@ impl RunRecord {
         self.flows.iter().all(|f| f.completed)
     }
 
-    fn to_json_obj(&self) -> String {
+    /// The record as a single JSON object — one JSON-Lines line, exactly
+    /// the array element [`to_json`] emits (the contract the
+    /// [`crate::sink::JsonLines`] sink streams under).
+    pub fn to_json_line(&self) -> String {
         let flows: Vec<String> = self
             .flows
             .iter()
@@ -171,17 +174,24 @@ impl RunRecord {
                     csv_field(&self.protocol),
                     csv_field(&self.topology),
                     csv_field(&self.channel),
-                    self.param.unwrap_or(""),
+                    // `param` and the joined `dsts` go through the same
+                    // quoting as every other string column: a
+                    // comma-bearing sweep-parameter name must not shear
+                    // the row (built-in labels never quote, so ordinary
+                    // output is byte-identical).
+                    csv_field(self.param.unwrap_or("")),
                     self.value.map(fmt_f64).unwrap_or_default(),
                     self.seed,
                     self.traffic_index,
                     i,
                     f.src.0,
-                    f.dsts
-                        .iter()
-                        .map(|d| d.0.to_string())
-                        .collect::<Vec<_>>()
-                        .join("|"),
+                    csv_field(
+                        &f.dsts
+                            .iter()
+                            .map(|d| d.0.to_string())
+                            .collect::<Vec<_>>()
+                            .join("|")
+                    ),
                     f.delivered,
                     fmt_f64(f.throughput_pps),
                     f.completed,
@@ -202,7 +212,7 @@ impl RunRecord {
 pub fn to_json(records: &[RunRecord]) -> String {
     let objs: Vec<String> = records
         .iter()
-        .map(|r| format!("  {}", r.to_json_obj()))
+        .map(|r| format!("  {}", r.to_json_line()))
         .collect();
     format!("[\n{}\n]\n", objs.join(",\n"))
 }
@@ -265,10 +275,11 @@ fn csv_field(s: &str) -> String {
 }
 
 #[cfg(test)]
-mod test {
+pub(crate) mod test_support {
     use super::*;
 
-    fn sample() -> RunRecord {
+    /// A representative record for unit tests across the crate.
+    pub(crate) fn sample_record() -> RunRecord {
         RunRecord {
             scenario: "test".into(),
             protocol: "MORE".into(),
@@ -293,6 +304,15 @@ mod test {
             concurrency: 0.12,
             sim_time_s: 2.54,
         }
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        test_support::sample_record()
     }
 
     #[test]
@@ -375,5 +395,48 @@ mod test {
         for line in lines {
             assert_eq!(line.split(',').count(), header_cols, "line {line:?}");
         }
+    }
+
+    /// Splits one CSV row respecting double-quoted fields (what any CSV
+    /// reader does) — the arity oracle for the quoting tests below.
+    fn csv_split(line: &str) -> Vec<String> {
+        let mut fields = vec![String::new()];
+        let mut quoted = false;
+        for c in line.chars() {
+            match c {
+                '"' => quoted = !quoted,
+                ',' if !quoted => fields.push(String::new()),
+                c => fields.last_mut().unwrap().push(c),
+            }
+        }
+        fields
+    }
+
+    #[test]
+    fn comma_bearing_param_is_quoted_not_sheared() {
+        // A sweep-parameter name with a comma previously went out
+        // unquoted and shifted every later column by one.
+        let mut r = sample();
+        r.param = Some("k,variant");
+        let row = &r.to_csv_rows()[0];
+        assert!(row.contains("\"k,variant\""), "param must be quoted: {row}");
+        let header_cols = RunRecord::CSV_HEADER.split(',').count();
+        assert_eq!(csv_split(row).len(), header_cols, "sheared row: {row}");
+        assert_eq!(csv_split(row)[4], "k,variant");
+    }
+
+    #[test]
+    fn multicast_dsts_ride_the_same_quoting_path() {
+        let mut r = sample();
+        r.flows[0].dsts = vec![NodeId(3), NodeId(7)];
+        let row = &r.to_csv_rows()[0];
+        // '|'-joined destinations carry no comma, so the field stays
+        // unquoted — but it must flow through csv_field like every other
+        // string column (arity stays fixed either way).
+        assert_eq!(csv_split(row)[10], "3|7");
+        assert_eq!(
+            csv_split(row).len(),
+            RunRecord::CSV_HEADER.split(',').count()
+        );
     }
 }

@@ -20,6 +20,14 @@ pub enum BuildError {
     Unsupported(String),
     /// No factory under that name.
     UnknownProtocol(String),
+    /// A user traffic model emitted a schedule violating the
+    /// [`crate::TrafficModel`] contract (a `Stop` for a flow that never
+    /// started, a `Stop` before its `Start`, events past the horizon, or
+    /// an unsorted event list).
+    InvalidSchedule(String),
+    /// A [`crate::sink::RunSink`] or checkpoint-manifest I/O operation
+    /// failed.
+    Sink(String),
 }
 
 impl fmt::Display for BuildError {
@@ -29,6 +37,8 @@ impl fmt::Display for BuildError {
             BuildError::UnknownProtocol(name) => {
                 write!(f, "no protocol named {name:?} in the registry")
             }
+            BuildError::InvalidSchedule(msg) => write!(f, "invalid traffic schedule: {msg}"),
+            BuildError::Sink(msg) => write!(f, "result sink failed: {msg}"),
         }
     }
 }

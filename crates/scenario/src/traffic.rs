@@ -116,11 +116,54 @@ pub(crate) struct FlowWindow {
     pub stop: Option<Time>,
 }
 
+/// Checks a schedule obeys the [`TrafficModel`] contract, so a
+/// misbehaving [`TrafficModelSpec::Custom`] model surfaces as a
+/// [`crate::BuildError::InvalidSchedule`] from `try_run` instead of a
+/// panic inside a worker thread. Rejects: an unsorted event list, any
+/// event at or beyond the horizon, and a `Stop` referencing a flow that
+/// has not started yet (which covers both unknown indices and a `Stop`
+/// ordered before its `Start`). A `Stop` at the same instant as its
+/// `Start` is legal — a zero-width window reports `0.0` throughput.
+///
+/// The built-in models satisfy this by construction; validation runs on
+/// every schedule anyway as a cheap invariant check.
+pub fn validate_schedule(schedule: &[FlowEvent], horizon: Time) -> Result<(), String> {
+    let mut starts = 0usize;
+    let mut last: Time = 0;
+    for ev in schedule {
+        let at = ev.at();
+        if at < last {
+            return Err(format!(
+                "events must be time-sorted: event at {at} µs follows one at {last} µs"
+            ));
+        }
+        last = at;
+        if at >= horizon {
+            return Err(format!(
+                "event at {at} µs lies at or beyond the {horizon} µs run horizon"
+            ));
+        }
+        match ev {
+            FlowEvent::Start { .. } => starts += 1,
+            FlowEvent::Stop { flow, .. } => {
+                if *flow >= starts {
+                    return Err(format!(
+                        "Stop references flow {flow}, but only {starts} flow(s) have \
+                         started by {at} µs (unknown flow, or a Stop before its Start)"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Collapses a schedule into per-flow windows, in start order.
 ///
 /// # Panics
 ///
-/// Panics when a `Stop` references a flow that has not started.
+/// Panics when a `Stop` references a flow that has not started (callers
+/// inside the engine run [`validate_schedule`] first).
 pub(crate) fn flow_windows(schedule: &[FlowEvent]) -> Vec<FlowWindow> {
     let mut windows: Vec<FlowWindow> = Vec::new();
     for ev in schedule {
@@ -687,6 +730,70 @@ mod test {
         let sources: std::collections::HashSet<NodeId> =
             windows.iter().map(|w| w.spec.src).collect();
         assert_eq!(sources.len(), 4, "distinct sources");
+    }
+
+    #[test]
+    fn validate_schedule_rejects_contract_violations() {
+        let flow = FlowSpec::unicast(NodeId(0), NodeId(1), 8);
+        let start = |at| FlowEvent::Start {
+            flow: flow.clone(),
+            at,
+        };
+        // Legal: start, zero-width stop, later stop of a known flow.
+        let ok = vec![
+            start(0),
+            FlowEvent::Stop { flow: 0, at: 0 },
+            start(10),
+            FlowEvent::Stop { flow: 1, at: 20 },
+        ];
+        assert!(validate_schedule(&ok, 100).is_ok());
+        // Stop for a flow that never started.
+        let unknown = vec![start(0), FlowEvent::Stop { flow: 3, at: 5 }];
+        assert!(validate_schedule(&unknown, 100)
+            .unwrap_err()
+            .contains("Stop references flow 3"));
+        // Stop ordered before its Start.
+        let early = vec![FlowEvent::Stop { flow: 0, at: 0 }, start(5)];
+        assert!(validate_schedule(&early, 100).is_err());
+        // Unsorted events.
+        let unsorted = vec![start(10), start(5)];
+        assert!(validate_schedule(&unsorted, 100)
+            .unwrap_err()
+            .contains("time-sorted"));
+        // Event at the horizon.
+        assert!(validate_schedule(&[start(100)], 100)
+            .unwrap_err()
+            .contains("horizon"));
+    }
+
+    #[test]
+    fn built_in_models_always_validate() {
+        let topo = generate::testbed(1);
+        let models: Vec<Box<dyn TrafficModel>> = vec![
+            Box::new(StaticModel(TrafficSpec::RandomPairs { count: 3, seed: 7 })),
+            Box::new(PoissonModel {
+                rate_per_s: 0.5,
+                mean_hold_s: 10.0,
+                max_active: 4,
+            }),
+            Box::new(OnOffModel {
+                n_flows: 3,
+                mean_on_s: 4.0,
+                mean_off_s: 4.0,
+            }),
+            Box::new(StaggeredModel {
+                n_flows: 4,
+                gap_ms: 1_000,
+                hold_ms: Some(2_000),
+            }),
+        ];
+        for model in &models {
+            for seed in 1..=3 {
+                for schedule in model.schedules(&topo, seed, 16, HORIZON) {
+                    validate_schedule(&schedule, HORIZON).expect("built-in model contract");
+                }
+            }
+        }
     }
 
     #[test]

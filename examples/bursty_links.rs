@@ -9,16 +9,18 @@
 //! the static matrix), so any throughput change is caused by loss
 //! *correlation*, not loss *rate*.
 //!
-//! Writes `results/bursty_links.json` + `.csv` and prints the paths.
+//! Streams `results/bursty_links.jsonl` + `.csv` while the grid runs
+//! and prints the paths.
 //!
 //! ```sh
 //! cargo run --release --example bursty_links
 //! ```
 
-use more_repro::scenario::{record, ChannelSpec, RunRecord, Scenario, Sweep, TrafficSpec};
+use more_repro::scenario::sink::{Collect, CsvAppend, JsonLines, Tee};
+use more_repro::scenario::{ChannelSpec, RunRecord, Scenario, Sweep, TrafficSpec};
 use std::fmt::Write as _;
 
-const JSON_PATH: &str = "results/bursty_links.json";
+const JSONL_PATH: &str = "results/bursty_links.jsonl";
 const CSV_PATH: &str = "results/bursty_links.csv";
 
 fn main() {
@@ -28,15 +30,25 @@ fn main() {
     let bursty = ChannelSpec::bursty_matched(0.0, 0.05, 0.2, 10);
     let channels = vec![ChannelSpec::Static, bursty];
 
-    let records = Scenario::named("bursty_links")
-        .testbed(1)
-        .traffic(TrafficSpec::RandomPairs { count: 4, seed: 7 })
-        .protocols(["MORE", "Srcr", "ExOR"])
-        .sweep(Sweep::Channel(channels.clone()))
-        .seeds(1..=2)
-        .packets(48)
-        .deadline(120)
-        .run();
+    // Stream to disk while the grid runs; Collect keeps a copy for the
+    // summary table.
+    let mut collect = Collect::new();
+    {
+        let jsonl =
+            JsonLines::create(JSONL_PATH).unwrap_or_else(|e| panic!("open {JSONL_PATH}: {e}"));
+        let csv = CsvAppend::create(CSV_PATH).unwrap_or_else(|e| panic!("open {CSV_PATH}: {e}"));
+        let mut sink = Tee::new().with(&mut collect).with(jsonl).with(csv);
+        Scenario::named("bursty_links")
+            .testbed(1)
+            .traffic(TrafficSpec::RandomPairs { count: 4, seed: 7 })
+            .protocols(["MORE", "Srcr", "ExOR"])
+            .sweep(Sweep::Channel(channels.clone()))
+            .seeds(1..=2)
+            .packets(48)
+            .deadline(120)
+            .run_with_sink(&mut sink);
+    }
+    let records = collect.into_records();
 
     let mut out = String::new();
     let _ = writeln!(
@@ -71,7 +83,5 @@ fn main() {
     );
     print!("{out}");
 
-    record::write_json(JSON_PATH, &records).unwrap_or_else(|e| panic!("write {JSON_PATH}: {e}"));
-    record::write_csv(CSV_PATH, &records).unwrap_or_else(|e| panic!("write {CSV_PATH}: {e}"));
-    println!("records written to {JSON_PATH} and {CSV_PATH}");
+    println!("records streamed to {JSONL_PATH} and {CSV_PATH}");
 }

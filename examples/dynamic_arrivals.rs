@@ -11,37 +11,49 @@
 //! with identical arrival processes per rate point so the comparison is
 //! fair.
 //!
-//! Writes `results/dynamic_arrivals.json` + `.csv` and prints the paths.
+//! Streams `results/dynamic_arrivals.jsonl` + `.csv` while the sweep
+//! runs and prints the paths.
 //!
 //! ```sh
 //! cargo run --release --example dynamic_arrivals
 //! ```
 
-use more_repro::scenario::{record, RunRecord, Scenario, Sweep, TrafficModelSpec};
+use more_repro::scenario::sink::{Collect, CsvAppend, JsonLines, Tee};
+use more_repro::scenario::{RunRecord, Scenario, Sweep, TrafficModelSpec};
 use std::fmt::Write as _;
 
-const JSON_PATH: &str = "results/dynamic_arrivals.json";
+const JSONL_PATH: &str = "results/dynamic_arrivals.jsonl";
 const CSV_PATH: &str = "results/dynamic_arrivals.csv";
 
 const RATES: [f64; 4] = [0.05, 0.1, 0.2, 0.4];
 
 fn main() {
     // Flows hold ~20 s (or finish earlier), at most 4 share the air; the
-    // Load sweep replaces the arrival rate per point.
-    let records = Scenario::named("dynamic_arrivals")
-        .testbed(1)
-        .traffic_model(TrafficModelSpec::Poisson {
-            rate_per_s: RATES[0],
-            mean_hold_s: 20.0,
-            max_active: 4,
-        })
-        .protocols(["MORE", "Srcr"])
-        .sweep(Sweep::Load(RATES.to_vec()))
-        .seeds(1..=2)
-        .packets(96)
-        .k(16)
-        .deadline(120)
-        .run();
+    // Load sweep replaces the arrival rate per point. Results stream to
+    // JSONL + CSV as each grid cell completes; Collect keeps a copy for
+    // the offered-load table.
+    let mut collect = Collect::new();
+    {
+        let jsonl =
+            JsonLines::create(JSONL_PATH).unwrap_or_else(|e| panic!("open {JSONL_PATH}: {e}"));
+        let csv = CsvAppend::create(CSV_PATH).unwrap_or_else(|e| panic!("open {CSV_PATH}: {e}"));
+        let mut sink = Tee::new().with(&mut collect).with(jsonl).with(csv);
+        Scenario::named("dynamic_arrivals")
+            .testbed(1)
+            .traffic_model(TrafficModelSpec::Poisson {
+                rate_per_s: RATES[0],
+                mean_hold_s: 20.0,
+                max_active: 4,
+            })
+            .protocols(["MORE", "Srcr"])
+            .sweep(Sweep::Load(RATES.to_vec()))
+            .seeds(1..=2)
+            .packets(96)
+            .k(16)
+            .deadline(120)
+            .run_with_sink(&mut sink);
+    }
+    let records = collect.into_records();
 
     let mut out = String::new();
     let _ = writeln!(
@@ -73,7 +85,5 @@ fn main() {
     );
     print!("{out}");
 
-    record::write_json(JSON_PATH, &records).unwrap_or_else(|e| panic!("write {JSON_PATH}: {e}"));
-    record::write_csv(CSV_PATH, &records).unwrap_or_else(|e| panic!("write {CSV_PATH}: {e}"));
-    println!("records written to {JSON_PATH} and {CSV_PATH}");
+    println!("records streamed to {JSONL_PATH} and {CSV_PATH}");
 }

@@ -5,8 +5,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use more_repro::scenario::{record, Scenario, TrafficSpec};
+use more_repro::scenario::sink::{Collect, JsonLines, Tee};
+use more_repro::scenario::{Scenario, TrafficSpec};
 use more_repro::topology::generate;
+
+const JSONL_PATH: &str = "results/quickstart.jsonl";
 
 fn main() {
     // 1. A testbed-like topology: 20 nodes, 3 floors, lossy 802.11b links.
@@ -22,13 +25,23 @@ fn main() {
     // 2. Declare the experiment: the paper's three-way comparison over
     //    random source→destination pairs, 384 packets each (12 batches
     //    of K=32), identical topology and seeds for every protocol.
-    let records = Scenario::named("quickstart")
-        .testbed(1)
-        .traffic(TrafficSpec::RandomPairs { count: 8, seed: 42 })
-        .protocols(["Srcr", "ExOR", "MORE"])
-        .packets(384)
-        .deadline(240)
-        .run();
+    //    Records *stream* as the grid runs — a JSONL sink persists each
+    //    one the moment its cell completes, while a Collect sink keeps
+    //    them in memory for the summary table below.
+    let mut collect = Collect::new();
+    {
+        let jsonl =
+            JsonLines::create(JSONL_PATH).unwrap_or_else(|e| panic!("open {JSONL_PATH}: {e}"));
+        let mut sink = Tee::new().with(&mut collect).with(jsonl);
+        Scenario::named("quickstart")
+            .testbed(1)
+            .traffic(TrafficSpec::RandomPairs { count: 8, seed: 42 })
+            .protocols(["Srcr", "ExOR", "MORE"])
+            .packets(384)
+            .deadline(240)
+            .run_with_sink(&mut sink);
+    }
+    let records = collect.into_records();
 
     // 3. Read structured results.
     println!(
@@ -55,9 +68,9 @@ fn main() {
         );
     }
 
-    // 4. Everything serializes — hand the records to plotting scripts.
-    record::write_json("results/quickstart.json", &records).expect("write JSON");
-    println!("\nraw records: results/quickstart.json");
+    // 4. Everything serialized while the grid ran — hand the JSONL to
+    //    plotting scripts (one RunRecord object per line).
+    println!("\nraw records (streamed): {JSONL_PATH}");
     println!(
         "(custom protocols plug in via ProtocolRegistry::register — see tests/scenario_api.rs)"
     );
