@@ -13,6 +13,8 @@
 //! all three protocols over the identical medium, topology, and seed
 //! discipline.
 
+#![forbid(unsafe_code)]
+
 pub mod exor;
 pub mod srcr;
 

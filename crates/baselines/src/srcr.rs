@@ -17,7 +17,7 @@ use mesh_metrics::EtxTable;
 use mesh_sim::autorate::OnoeConfig;
 use mesh_sim::{Bitrate, Ctx, Frame, NodeAgent, OnoeAutorate, OutFrame, Time, TxOutcome};
 use mesh_topology::{NodeId, Topology};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Srcr parameters.
 #[derive(Clone, Copy, Debug)]
@@ -107,7 +107,7 @@ pub struct SrcrAgent {
     /// What each node's MAC currently carries: (flow idx, seq).
     in_flight_pkt: Vec<Option<(usize, u32)>>,
     /// Onoe state per (node, nexthop).
-    autorate: HashMap<(NodeId, NodeId), OnoeAutorate>,
+    autorate: BTreeMap<(NodeId, NodeId), OnoeAutorate>,
 }
 
 impl SrcrAgent {
@@ -122,7 +122,7 @@ impl SrcrAgent {
             flows: Vec::new(),
             rr: vec![0; n],
             in_flight_pkt: vec![None; n],
-            autorate: HashMap::new(),
+            autorate: BTreeMap::new(),
         }
     }
 

@@ -21,6 +21,8 @@
 //! deadline (challenged Srcr pairs — the dead spots — would otherwise run
 //! forever).
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod stats;
 

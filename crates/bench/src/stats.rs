@@ -3,7 +3,7 @@
 /// Sorted copy of the input.
 fn sorted(values: &[f64]) -> Vec<f64> {
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metrics"));
+    v.sort_by(f64::total_cmp);
     v
 }
 
@@ -136,5 +136,16 @@ mod test {
             );
             assert!(lines.len() <= 14, "n={n}: too many rows ({})", lines.len());
         }
+    }
+
+    #[test]
+    fn nan_values_sort_last_and_do_not_panic() {
+        // total_cmp regression: partial_cmp().expect() used to panic here.
+        let v = [2.0, f64::NAN, 1.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(median(&v), 2.0, "NaN sorts after every finite value");
+        let points = cdf(&v);
+        assert_eq!(points.len(), 3);
+        assert!(points[2].0.is_nan());
     }
 }

@@ -83,7 +83,12 @@ pub fn mul_add_assign(dst: &mut [u8], src: &[u8], c: Gf256) {
             #[cfg(target_arch = "x86_64")]
             {
                 match x86::level() {
+                    // SAFETY: level() == 2 means AVX2 was detected on this CPU
+                    // at runtime, satisfying mul_add_avx2's target-feature
+                    // contract; dst/src lengths were asserted equal above.
                     2 => return unsafe { x86::mul_add_avx2(dst, src, c.0) },
+                    // SAFETY: level() == 1 means SSSE3 was detected at
+                    // runtime, satisfying mul_add_ssse3's contract.
                     1 => return unsafe { x86::mul_add_ssse3(dst, src, c.0) },
                     _ => {}
                 }
@@ -103,7 +108,12 @@ pub fn mul_assign(dst: &mut [u8], c: Gf256) {
             #[cfg(target_arch = "x86_64")]
             {
                 match x86::level() {
+                    // SAFETY: level() == 2 means AVX2 was detected on this CPU
+                    // at runtime, satisfying mul_assign_avx2's target-feature
+                    // contract.
                     2 => return unsafe { x86::mul_assign_avx2(dst, c.0) },
+                    // SAFETY: level() == 1 means SSSE3 was detected at
+                    // runtime, satisfying mul_assign_ssse3's contract.
                     1 => return unsafe { x86::mul_assign_ssse3(dst, c.0) },
                     _ => {}
                 }
@@ -128,7 +138,12 @@ pub fn mul_into(out: &mut [u8], src: &[u8], c: Gf256) {
             #[cfg(target_arch = "x86_64")]
             {
                 match x86::level() {
+                    // SAFETY: level() == 2 means AVX2 was detected on this CPU
+                    // at runtime, satisfying mul_into_avx2's target-feature
+                    // contract; out/src lengths were asserted equal above.
                     2 => return unsafe { x86::mul_into_avx2(out, src, c.0) },
+                    // SAFETY: level() == 1 means SSSE3 was detected at
+                    // runtime, satisfying mul_into_ssse3's contract.
                     1 => return unsafe { x86::mul_into_ssse3(out, src, c.0) },
                     _ => {}
                 }
@@ -240,6 +255,10 @@ mod x86 {
         }
     }
 
+    // SAFETY: caller must ensure the CPU supports SSSE3 (x86::level() >= 1).
+    // All loads/stores are unaligned and stay within the first n = len - len % 16
+    // bytes of dst/src (equal lengths asserted by the dispatching caller);
+    // the scalar tail handles the remainder.
     #[target_feature(enable = "ssse3")]
     pub(super) unsafe fn mul_add_ssse3(dst: &mut [u8], src: &[u8], c: u8) {
         let lo = _mm_loadu_si128(MUL_LO[c as usize].as_ptr().cast());
@@ -261,6 +280,10 @@ mod x86 {
         tail_mul_add(&mut dst[n..], &src[n..], c);
     }
 
+    // SAFETY: caller must ensure the CPU supports SSSE3 (x86::level() >= 1).
+    // All loads/stores are unaligned and stay within the first n = len - len % 16
+    // bytes of out/src (equal lengths asserted by the dispatching caller);
+    // out and src are distinct borrows so no load overlaps a store.
     #[target_feature(enable = "ssse3")]
     pub(super) unsafe fn mul_into_ssse3(out: &mut [u8], src: &[u8], c: u8) {
         let lo = _mm_loadu_si128(MUL_LO[c as usize].as_ptr().cast());
@@ -280,6 +303,9 @@ mod x86 {
         tail_mul_into(&mut out[n..], &src[n..], c);
     }
 
+    // SAFETY: caller must ensure the CPU supports SSSE3 (x86::level() >= 1).
+    // All loads/stores are unaligned and stay within the first n = len - len % 16
+    // bytes of dst; each 16-byte lane is loaded before it is stored.
     #[target_feature(enable = "ssse3")]
     pub(super) unsafe fn mul_assign_ssse3(dst: &mut [u8], c: u8) {
         let lo = _mm_loadu_si128(MUL_LO[c as usize].as_ptr().cast());
@@ -298,6 +324,10 @@ mod x86 {
         tail_mul_assign(&mut dst[n..], c);
     }
 
+    // SAFETY: caller must ensure the CPU supports AVX2 (x86::level() == 2).
+    // All loads/stores are unaligned and stay within the first n = len - len % 32
+    // bytes of dst/src (equal lengths asserted by the dispatching caller);
+    // the scalar tail handles the remainder.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn mul_add_avx2(dst: &mut [u8], src: &[u8], c: u8) {
         let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(MUL_LO[c as usize].as_ptr().cast()));
@@ -319,6 +349,10 @@ mod x86 {
         tail_mul_add(&mut dst[n..], &src[n..], c);
     }
 
+    // SAFETY: caller must ensure the CPU supports AVX2 (x86::level() == 2).
+    // All loads/stores are unaligned and stay within the first n = len - len % 32
+    // bytes of out/src (equal lengths asserted by the dispatching caller);
+    // out and src are distinct borrows so no load overlaps a store.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn mul_into_avx2(out: &mut [u8], src: &[u8], c: u8) {
         let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(MUL_LO[c as usize].as_ptr().cast()));
@@ -338,6 +372,9 @@ mod x86 {
         tail_mul_into(&mut out[n..], &src[n..], c);
     }
 
+    // SAFETY: caller must ensure the CPU supports AVX2 (x86::level() == 2).
+    // All loads/stores are unaligned and stay within the first n = len - len % 32
+    // bytes of dst; each 32-byte lane is loaded before it is stored.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn mul_assign_avx2(dst: &mut [u8], c: u8) {
         let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(MUL_LO[c as usize].as_ptr().cast()));

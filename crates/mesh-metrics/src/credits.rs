@@ -103,7 +103,10 @@ impl ForwarderPlan {
         let mut participants: Vec<usize> = (0..n)
             .filter(|&i| i == src.0 || (metric[i].is_finite() && key(i) < key(src.0)))
             .collect();
-        participants.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap());
+        participants.sort_by(|&a, &b| {
+            let (ka, kb) = (key(a), key(b));
+            ka.0.total_cmp(&kb.0).then(ka.1.cmp(&kb.1))
+        });
         debug_assert_eq!(participants[0], dst.0, "destination must be cheapest");
 
         let (z, load) = algorithm1(topo, &participants, src.0);
@@ -120,7 +123,7 @@ impl ForwarderPlan {
         let mut survivors = participants.clone();
         let mut z = z;
         let mut load = load;
-        let mut protected: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut protected: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
         loop {
             let total: f64 = z.iter().sum();
             let over_cap = cfg
@@ -135,7 +138,7 @@ impl ForwarderPlan {
                     over_cap
                         || (cfg.prune_fraction > 0.0 && z[i] < cfg.prune_fraction * total - EPS)
                 })
-                .min_by(|&a, &b| z[a].partial_cmp(&z[b]).expect("z is finite"));
+                .min_by(|&a, &b| z[a].total_cmp(&z[b]));
             let Some(worst) = candidate else { break };
             let trial: Vec<usize> = survivors.iter().copied().filter(|&i| i != worst).collect();
             let (tz, tload) = algorithm1(topo, &trial, src.0);
@@ -399,5 +402,23 @@ mod test {
         }
         assert_eq!(p.order[0], NodeId(0));
         assert_eq!(*p.order.last().unwrap(), NodeId(19));
+    }
+
+    #[test]
+    fn nan_metric_entry_is_excluded_like_unreachable() {
+        // total_cmp regression: a NaN distance used to panic the
+        // participant sort; it must act like an unreachable node.
+        let t = generate::motivating();
+        let etx = EtxTable::compute(&t, NodeId(2), LinkCost::Forward);
+        let mut with_nan = etx.distances().to_vec();
+        let mut with_inf = with_nan.clone();
+        with_nan[1] = f64::NAN;
+        with_inf[1] = f64::INFINITY;
+        let cfg = PlanConfig::unpruned();
+        let p_nan = ForwarderPlan::compute(&t, NodeId(0), NodeId(2), &with_nan, &cfg);
+        let p_inf = ForwarderPlan::compute(&t, NodeId(0), NodeId(2), &with_inf, &cfg);
+        assert!(!p_nan.participates(NodeId(1)));
+        assert_eq!(p_nan.order, p_inf.order);
+        assert_eq!(p_nan.z, p_inf.z);
     }
 }

@@ -106,12 +106,7 @@ impl EotxTable {
             // Sort nodes by current estimate (Algorithm 4's "sort nodes in
             // order"); ties broken by id.
             let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| {
-                dist[a]
-                    .partial_cmp(&dist[b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(&b))
-            });
+            order.sort_by(|&a, &b| dist[a].total_cmp(&dist[b]).then(a.cmp(&b)));
             let mut new_dist = dist.clone();
             #[allow(clippy::needless_range_loop)] // i is also compared against dst
             for i in 0..n {
@@ -125,12 +120,7 @@ impl EotxTable {
 
         // Recover reach from the final order.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            dist[a]
-                .partial_cmp(&dist[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| dist[a].total_cmp(&dist[b]).then(a.cmp(&b)));
         let mut reach = vec![0.0; n];
         for i in 0..n {
             let mut p_none = 1.0;

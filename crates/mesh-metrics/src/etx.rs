@@ -60,8 +60,7 @@ impl EtxTable {
                 // determinism.
                 other
                     .0
-                    .partial_cmp(&self.0)
-                    .unwrap_or(Ordering::Equal)
+                    .total_cmp(&self.0)
                     .then_with(|| other.1.cmp(&self.1))
             }
         }

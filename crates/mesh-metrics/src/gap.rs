@@ -57,6 +57,13 @@ pub fn testbed_gap_stats(topo: &Topology, tolerance: f64) -> GapStats {
             gaps.push(pair_gap(topo, s, d));
         }
     }
+    stats_from_gaps(&gaps, tolerance)
+}
+
+/// Aggregates raw per-pair gaps. A NaN gap (degenerate pair) counts
+/// toward `pairs` but is neither unaffected nor affected, and `fold`
+/// with `f64::max` ignores it for `max_gap`.
+fn stats_from_gaps(gaps: &[f64], tolerance: f64) -> GapStats {
     let pairs = gaps.len();
     if pairs == 0 {
         return GapStats::default();
@@ -67,7 +74,7 @@ pub fn testbed_gap_stats(topo: &Topology, tolerance: f64) -> GapStats {
         .copied()
         .filter(|&g| g > 1.0 + tolerance)
         .collect();
-    affected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    affected.sort_by(f64::total_cmp);
     let median_affected_excess = if affected.is_empty() {
         0.0
     } else {
@@ -141,5 +148,16 @@ mod test {
             stats.median_affected_excess
         );
         assert!(stats.max_gap < 1.5, "max gap {}", stats.max_gap);
+    }
+
+    #[test]
+    fn nan_gap_is_neither_affected_nor_a_panic() {
+        // total_cmp regression: affected.sort_by(partial_cmp().unwrap())
+        // used to panic when a NaN gap slipped in.
+        let s = stats_from_gaps(&[1.0, 1.5, f64::NAN, 2.0], 0.05);
+        assert_eq!(s.pairs, 4);
+        assert!((s.unaffected_fraction - 0.25).abs() < 1e-12);
+        assert!((s.median_affected_excess - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_gap, 2.0);
     }
 }

@@ -18,6 +18,8 @@
 //! * [`gap`] — the ETX-order vs EOTX-order total-cost gap of §5.7
 //!   (Proposition 6).
 
+#![forbid(unsafe_code)]
+
 pub mod credits;
 pub mod eotx;
 pub mod etx;

@@ -31,6 +31,7 @@
 //! receptions through `on_receive`, and reports transmit outcomes through
 //! `on_tx_done`. Everything is deterministic in the seed.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod autorate;

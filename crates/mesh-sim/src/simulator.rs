@@ -140,7 +140,7 @@ pub struct Simulator<A: NodeAgent> {
     current: Vec<Option<CurrentTx<A::Payload>>>,
     /// Generation counters for ACK timeouts.
     ack_seq: Vec<u64>,
-    in_flight: std::collections::HashMap<u64, InFlight<A::Payload>>,
+    in_flight: std::collections::BTreeMap<u64, InFlight<A::Payload>>,
     next_tx_id: u64,
     /// Pending dynamic-workload actions, kept sorted descending by
     /// `(time, seq)` so the earliest is popped from the back.
@@ -203,7 +203,7 @@ impl<A: NodeAgent> Simulator<A> {
             states: (0..n).map(|_| MacState::Idle).collect(),
             current: (0..n).map(|_| None).collect(),
             ack_seq: vec![0; n],
-            in_flight: std::collections::HashMap::new(),
+            in_flight: std::collections::BTreeMap::new(),
             next_tx_id: 0,
             traffic: Vec::new(),
             traffic_seq: 0,

@@ -15,6 +15,7 @@
 //! probing-based link estimator that stands in for Roofnet's ETX
 //! measurement module is in [`estimator`].
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod estimator;

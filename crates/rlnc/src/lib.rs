@@ -33,6 +33,7 @@
 //! assert_eq!(dec.take_natives().unwrap(), natives);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod buffer;

@@ -24,7 +24,7 @@ use mesh_sim::{
 };
 use mesh_topology::estimator::LinkEstimator;
 use mesh_topology::{NodeId, Topology};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::ops::ControlFlow;
 
 /// An owned sink as stored by [`ScenarioBuilder::sink`]: `Send + Sync`
@@ -614,7 +614,7 @@ impl ScenarioBuilder {
                         // Fresh checkpointed sweep: claim the sink files
                         // (drop bytes from any earlier un-manifested
                         // attempt so append-mode sinks start clean).
-                        sink.rewind_to(&HashMap::new()).map_err(sink_err)?;
+                        sink.rewind_to(&BTreeMap::new()).map_err(sink_err)?;
                         (Some(Manifest::new(&self.name, &fingerprint)), path, 0)
                     }
                     Some(m) => {
@@ -663,8 +663,8 @@ impl ScenarioBuilder {
         let protocols_ref = &protocols;
         // Probed routing beliefs depend only on (sweep point, seed), never
         // on the protocol — share one probe window across the whole grid.
-        let probe_cache: std::sync::Mutex<HashMap<(Option<usize>, u64), Topology>> =
-            std::sync::Mutex::new(HashMap::new());
+        let probe_cache: std::sync::Mutex<BTreeMap<(Option<usize>, u64), Topology>> =
+            std::sync::Mutex::new(BTreeMap::new());
         let probe_cache = &probe_cache;
 
         // Drain state: workers report cells in completion order; the
@@ -757,7 +757,7 @@ impl ScenarioBuilder {
         factory: &dyn crate::registry::ProtocolFactory,
         sweep_point: Option<usize>,
         seed: u64,
-        probe_cache: &std::sync::Mutex<std::collections::HashMap<(Option<usize>, u64), Topology>>,
+        probe_cache: &std::sync::Mutex<std::collections::BTreeMap<(Option<usize>, u64), Topology>>,
     ) -> Result<Vec<RunRecord>, BuildError> {
         // Apply the sweep point to the parameter block and topology.
         let mut cfg = ExpConfig { seed, ..self.base };

@@ -52,6 +52,7 @@
 //!   completions through a channel drained by the caller, no global
 //!   lock on a slot vector.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod builder;

@@ -14,7 +14,7 @@
 //! skips that prefix, appends the rest, and ends byte-identical to an
 //! uninterrupted run (enforced by `tests/streaming_pipeline.rs`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 
 /// The persistent state of one checkpointed sweep.
@@ -32,7 +32,7 @@ pub struct Manifest {
     /// Completed grid-cell keys, in emission (grid) order.
     pub cells: Vec<String>,
     /// Durable byte offset per sink file at the last checkpoint.
-    pub sink_offsets: HashMap<String, u64>,
+    pub sink_offsets: BTreeMap<String, u64>,
 }
 
 impl Manifest {
@@ -88,7 +88,7 @@ impl Manifest {
             .iter()
             .map(|c| c.as_str().map(str::to_string).ok_or_else(|| bad("cell")))
             .collect::<io::Result<Vec<_>>>()?;
-        let mut sink_offsets = HashMap::new();
+        let mut sink_offsets = BTreeMap::new();
         if let Some(mesh_topology::json::Value::Obj(pairs)) = v.get("sinks") {
             for (path, off) in pairs {
                 let off = off.as_f64().ok_or_else(|| bad("sink offset"))? as u64;
@@ -130,10 +130,9 @@ impl Manifest {
             .iter()
             .map(|c| format!("\"{}\"", mesh_topology::json::escape(c)))
             .collect();
-        let mut sinks: Vec<(&String, &u64)> = self.sink_offsets.iter().collect();
-        sinks.sort();
-        let sinks: Vec<String> = sinks
-            .into_iter()
+        let sinks: Vec<String> = self
+            .sink_offsets
+            .iter()
             .map(|(p, o)| format!("\"{}\": {o}", mesh_topology::json::escape(p)))
             .collect();
         let json = format!(

@@ -26,7 +26,6 @@
 
 use crate::record::{to_csv, to_json, RunRecord};
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 use std::io::{self, Seek, SeekFrom, Write};
 
 /// A streaming consumer of [`RunRecord`]s.
@@ -69,7 +68,7 @@ pub trait RunSink {
     /// Rewinds every owned file to its checkpointed offset (missing
     /// entry = 0) before a resumed sweep appends. Trims torn tails left
     /// by a mid-write kill.
-    fn rewind_to(&mut self, offsets: &HashMap<String, u64>) -> io::Result<()> {
+    fn rewind_to(&mut self, offsets: &BTreeMap<String, u64>) -> io::Result<()> {
         let _ = offsets;
         Ok(())
     }
@@ -93,7 +92,7 @@ impl<S: RunSink + ?Sized> RunSink for &mut S {
     fn offsets(&mut self) -> io::Result<Vec<(String, u64)>> {
         (**self).offsets()
     }
-    fn rewind_to(&mut self, offsets: &HashMap<String, u64>) -> io::Result<()> {
+    fn rewind_to(&mut self, offsets: &BTreeMap<String, u64>) -> io::Result<()> {
         (**self).rewind_to(offsets)
     }
 }
@@ -204,7 +203,7 @@ impl FileSink {
         Ok((self.path.clone(), self.written))
     }
 
-    fn rewind_to(&mut self, offsets: &HashMap<String, u64>) -> io::Result<()> {
+    fn rewind_to(&mut self, offsets: &BTreeMap<String, u64>) -> io::Result<()> {
         self.flush()?;
         let target = offsets.get(&self.path).copied().unwrap_or(0);
         // A file shorter than its checkpointed offset means the caller
@@ -273,7 +272,7 @@ impl RunSink for JsonLines {
     fn offsets(&mut self) -> io::Result<Vec<(String, u64)>> {
         Ok(vec![self.inner.offset()?])
     }
-    fn rewind_to(&mut self, offsets: &HashMap<String, u64>) -> io::Result<()> {
+    fn rewind_to(&mut self, offsets: &BTreeMap<String, u64>) -> io::Result<()> {
         self.inner.rewind_to(offsets)
     }
 }
@@ -332,7 +331,7 @@ impl RunSink for CsvAppend {
     fn offsets(&mut self) -> io::Result<Vec<(String, u64)>> {
         Ok(vec![self.inner.offset()?])
     }
-    fn rewind_to(&mut self, offsets: &HashMap<String, u64>) -> io::Result<()> {
+    fn rewind_to(&mut self, offsets: &BTreeMap<String, u64>) -> io::Result<()> {
         self.inner.rewind_to(offsets)
     }
 }
@@ -689,7 +688,7 @@ impl RunSink for Tee<'_> {
         }
         Ok(all)
     }
-    fn rewind_to(&mut self, offsets: &HashMap<String, u64>) -> io::Result<()> {
+    fn rewind_to(&mut self, offsets: &BTreeMap<String, u64>) -> io::Result<()> {
         for c in &mut self.children {
             c.rewind_to(offsets)?;
         }

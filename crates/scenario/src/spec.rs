@@ -6,7 +6,7 @@ use mesh_topology::{generate, NodeId, Topology};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Shared experiment parameters (§4.1.2 defaults). The same struct the
@@ -282,7 +282,7 @@ impl TrafficSpec {
             } => {
                 let pool = random_pairs(topo, topo.n() * topo.n(), seed_offset + run_seed);
                 let mut flows = Vec::new();
-                let mut used = HashSet::new();
+                let mut used = BTreeSet::new();
                 for (s, d) in pool {
                     if *distinct_sources && !used.insert(s) {
                         continue;
@@ -514,7 +514,7 @@ mod test {
         assert_eq!(a, b, "same run seed, same flows");
         assert_ne!(a, c, "different run seed, different flows");
         assert_eq!(a[0].len(), 3);
-        let sources: HashSet<NodeId> = a[0].iter().map(|f| f.src).collect();
+        let sources: BTreeSet<NodeId> = a[0].iter().map(|f| f.src).collect();
         assert_eq!(sources.len(), 3, "distinct sources");
     }
 }

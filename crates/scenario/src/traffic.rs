@@ -366,7 +366,7 @@ impl TrafficModel for StaggeredModel {
         let mut pool = reachable_pairs(topo);
         rand::seq::SliceRandom::shuffle(&mut pool[..], &mut rng);
         // Distinct sources, like TrafficSpec::RandomConcurrent.
-        let mut used = std::collections::HashSet::new();
+        let mut used = std::collections::BTreeSet::new();
         let mut flows = Vec::new();
         for (s, d) in pool {
             if !used.insert(s) {
@@ -547,7 +547,7 @@ impl TrafficModelSpec {
             TrafficModelSpec::Staggered { n_flows, .. } => {
                 // The ramp needs n_flows distinct sources, each with at
                 // least one reachable destination.
-                let sources: std::collections::HashSet<NodeId> =
+                let sources: std::collections::BTreeSet<NodeId> =
                     reachable_pairs(topo).into_iter().map(|(s, _)| s).collect();
                 if sources.len() < *n_flows {
                     return Err(format!(
@@ -727,7 +727,7 @@ mod test {
             assert_eq!(w.start, i as Time * 2_000 * mesh_sim::MS);
             assert_eq!(w.stop, None);
         }
-        let sources: std::collections::HashSet<NodeId> =
+        let sources: std::collections::BTreeSet<NodeId> =
             windows.iter().map(|w| w.spec.src).collect();
         assert_eq!(sources.len(), 4, "distinct sources");
     }

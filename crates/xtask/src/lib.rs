@@ -1,0 +1,995 @@
+//! Workspace static-analysis suite: the determinism and unsafe-audit
+//! lints behind `cargo run -p xtask -- analyze`.
+//!
+//! Every result this repo produces rests on the claim that a run is a
+//! pure function of `(topology, agent, seed, channel)`. The engine
+//! enforces pieces of that contract at runtime (golden files, double-run
+//! byte equality, the cross-thread-count test); this crate enforces the
+//! *source-level hygiene* the runtime checks depend on, with a
+//! hand-rolled line/token analyzer over the workspace's `.rs` files (no
+//! crates.io here, mirroring how `mesh_topology::json` hand-rolls JSON).
+//!
+//! ## Lint families
+//!
+//! **Determinism** —
+//! * [`Lint::HashIteration`]: `HashMap`/`HashSet` in an engine crate
+//!   (mesh-sim, scenario, more-core, baselines, rlnc, mesh-metrics).
+//!   `RandomState` iteration order can leak into tie-breaks, RNG draws,
+//!   and serialized records; engine containers must be `BTreeMap`/
+//!   `BTreeSet` (or justified via the allowlist).
+//! * [`Lint::WallClock`]: `Instant::now`/`SystemTime` outside
+//!   `crates/bench`. Simulated time is the only clock the engine may
+//!   read.
+//! * [`Lint::RngStream`]: RNG construction not derived from the run seed
+//!   — `seed_from_u64` must take the bare seed or `seed ^ *_STREAM` with
+//!   a named stream constant (the `CHANNEL_STREAM`/`TRAFFIC_STREAM`/
+//!   `PROBE_STREAM` discipline); `thread_rng`/`from_entropy` are always
+//!   errors.
+//! * [`Lint::FloatOrd`]: float ordering via `partial_cmp(..).unwrap()`
+//!   (or `.expect(..)`/`.unwrap_or(..)`) instead of `total_cmp` — a NaN
+//!   turns those into panics or, worse, an inconsistent comparator.
+//!
+//! **Unsafe audit** —
+//! * [`Lint::UndocumentedUnsafe`]: every `unsafe` block/fn/impl needs a
+//!   `// SAFETY:` comment on or directly above it. All sites (documented
+//!   or not) are listed in the report's unsafe inventory.
+//! * [`Lint::MissingForbid`]: every crate root except `crates/gf256`
+//!   must carry `#![forbid(unsafe_code)]`, so the inventory can only
+//!   ever live in one place.
+//!
+//! **Escape-hatch accounting** — a finding is suppressed by
+//!
+//! ```text
+//! // xtask: allow(<lint>) -- <justification>
+//! ```
+//!
+//! trailing the flagged line or on the line above it
+//! (`allow(missing_forbid)` may sit anywhere in the crate root). Every
+//! allowlist entry — used or not — is printed in the report so
+//! suppressions stay reviewable; an allow without a justification or
+//! naming an unknown lint is itself a finding ([`Lint::BadAllow`]).
+//!
+//! Test code (paths under `tests/`/`benches/`, and `#[cfg(test)]`
+//! regions) is exempt from the determinism lints: tests may pin literal
+//! seeds and use hash containers freely. The unsafe audit applies
+//! everywhere.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose containers can leak iteration order into tie-breaks,
+/// RNG draws, or serialized records.
+pub const ENGINE_CRATES: [&str; 6] = [
+    "mesh-sim",
+    "scenario",
+    "more-core",
+    "baselines",
+    "rlnc",
+    "mesh-metrics",
+];
+
+/// The lints `analyze` runs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Lint {
+    /// `HashMap`/`HashSet` in an engine crate.
+    HashIteration,
+    /// `Instant::now`/`SystemTime` outside `crates/bench`.
+    WallClock,
+    /// RNG construction not derived from the run seed via a named
+    /// `*_STREAM` constant.
+    RngStream,
+    /// Float ordering via `partial_cmp(..).unwrap()`-family instead of
+    /// `total_cmp`.
+    FloatOrd,
+    /// `unsafe` without a `// SAFETY:` comment.
+    UndocumentedUnsafe,
+    /// Crate root without `#![forbid(unsafe_code)]`.
+    MissingForbid,
+    /// Malformed allowlist entry (unknown lint or missing justification).
+    BadAllow,
+}
+
+impl Lint {
+    /// The name used in `// xtask: allow(<name>)` and in the report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::HashIteration => "hash_iteration",
+            Lint::WallClock => "wall_clock",
+            Lint::RngStream => "rng_stream",
+            Lint::FloatOrd => "float_ord",
+            Lint::UndocumentedUnsafe => "undocumented_unsafe",
+            Lint::MissingForbid => "missing_forbid",
+            Lint::BadAllow => "bad_allow",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Lint> {
+        [
+            Lint::HashIteration,
+            Lint::WallClock,
+            Lint::RngStream,
+            Lint::FloatOrd,
+            Lint::UndocumentedUnsafe,
+            Lint::MissingForbid,
+        ]
+        .into_iter()
+        .find(|l| l.name() == name)
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One unsuppressed lint violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Path relative to the analysis root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+/// One `// xtask: allow(..) -- ..` comment, wherever it appeared.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Path relative to the analysis root.
+    pub file: String,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The lint being allowed.
+    pub lint: Lint,
+    /// The ` -- ` justification text.
+    pub justification: String,
+    /// Whether the entry suppressed at least one finding.
+    pub used: bool,
+}
+
+/// One `unsafe` site, documented or not.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    /// Path relative to the analysis root.
+    pub file: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    /// `"fn"`, `"impl"`, `"trait"`, or `"block"`.
+    pub kind: &'static str,
+    /// The `SAFETY:` comment text, when present.
+    pub safety: Option<String>,
+}
+
+/// Everything one `analyze` pass produced.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// Every allowlist entry seen, in (file, line) order.
+    pub allows: Vec<AllowEntry>,
+    /// Every `unsafe` site seen, in (file, line) order.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace is clean (exit code 0).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings of one lint (test helper).
+    pub fn of(&self, lint: Lint) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.lint == lint).collect()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "xtask analyze: {} file(s) scanned\n\n",
+            self.files_scanned
+        ));
+
+        if self.findings.is_empty() {
+            out.push_str("findings: none\n");
+        } else {
+            out.push_str(&format!("findings: {}\n", self.findings.len()));
+            let mut by_lint: BTreeMap<Lint, Vec<&Finding>> = BTreeMap::new();
+            for f in &self.findings {
+                by_lint.entry(f.lint).or_default().push(f);
+            }
+            for (lint, findings) in by_lint {
+                out.push_str(&format!("\n[{lint}] {} finding(s)\n", findings.len()));
+                for f in findings {
+                    out.push_str(&format!("  {}:{}: {}\n", f.file, f.line, f.message));
+                }
+            }
+        }
+
+        out.push_str(&format!(
+            "\nunsafe inventory: {} site(s)\n",
+            self.unsafe_sites.len()
+        ));
+        for s in &self.unsafe_sites {
+            match &s.safety {
+                Some(text) => out.push_str(&format!(
+                    "  {}:{} [{}] SAFETY: {}\n",
+                    s.file, s.line, s.kind, text
+                )),
+                None => out.push_str(&format!(
+                    "  {}:{} [{}] (no SAFETY comment)\n",
+                    s.file, s.line, s.kind
+                )),
+            }
+        }
+
+        out.push_str(&format!("\nallowlist entries: {}\n", self.allows.len()));
+        for a in &self.allows {
+            out.push_str(&format!(
+                "  {}:{} allow({}) -- {} [{}]\n",
+                a.file,
+                a.line,
+                a.lint,
+                a.justification,
+                if a.used { "used" } else { "UNUSED" },
+            ));
+        }
+        out
+    }
+}
+
+/// Analyzes every `.rs` file under `root` (skipping `target/`, `vendor/`,
+/// `.git/`, and `tests/fixtures/` trees) and returns the [`Report`].
+///
+/// Deterministic: directory entries are visited in sorted order, and no
+/// lint consults anything but file contents and paths.
+pub fn analyze_root(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        analyze_file(&rel_display(rel), &text, &mut report);
+    }
+    report.files_scanned = files.len();
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(report)
+}
+
+fn rel_display(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if matches!(name.as_str(), "target" | "vendor" | ".git" | "results") {
+                continue;
+            }
+            // The analyzer's own deliberately-bad test fixtures.
+            if name == "fixtures" && dir.file_name().is_some_and(|d| d == "tests") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked paths live under root")
+                .to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Which crate (the `crates/<name>` directory) a workspace-relative path
+/// belongs to, if any.
+fn crate_of(file: &str) -> Option<&str> {
+    let rest = file.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+fn is_engine_crate(file: &str) -> bool {
+    crate_of(file).is_some_and(|c| ENGINE_CRATES.contains(&c))
+}
+
+/// Paths that hold test or bench harness code: exempt from the
+/// determinism lints (tests pin literal seeds on purpose).
+fn is_test_path(file: &str) -> bool {
+    file.starts_with("tests/")
+        || file.contains("/tests/")
+        || file.starts_with("benches/")
+        || file.contains("/benches/")
+        || file.starts_with("examples/")
+        || file.contains("/examples/")
+}
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`: every
+/// `crates/<name>/src/lib.rs` except gf256 (the one crate allowed
+/// `unsafe`), plus the umbrella `src/lib.rs`.
+fn requires_forbid(file: &str) -> bool {
+    if file == "src/lib.rs" {
+        return true;
+    }
+    match (
+        crate_of(file),
+        file.split('/').collect::<Vec<_>>().as_slice(),
+    ) {
+        (Some(c), ["crates", _, "src", "lib.rs"]) => c != "gf256",
+        _ => false,
+    }
+}
+
+/// Per-line views of one source file.
+struct FileView {
+    /// Raw lines, as written.
+    raw: Vec<String>,
+    /// Lines with comments and string/char-literal contents blanked to
+    /// spaces — what the token lints scan.
+    code: Vec<String>,
+    /// Whether each line sits in a `#[cfg(test)]` region.
+    test: Vec<bool>,
+    /// The text after a line comment's `//`, when the lexer saw one in
+    /// code position (so `//` inside a string never counts).
+    comment: Vec<Option<String>>,
+}
+
+fn analyze_file(file: &str, text: &str, report: &mut Report) {
+    let view = lex(text);
+    let mut allows = parse_allows(file, &view, report);
+
+    let mut findings = Vec::new();
+    run_token_lints(file, &view, &mut findings);
+    run_unsafe_audit(file, &view, &mut findings, report);
+    run_forbid_lint(file, &view, &mut findings);
+
+    // Escape-hatch accounting: an allow suppresses findings of its lint
+    // on its own line or the line below (missing_forbid: anywhere in the
+    // crate root, since the finding pins to line 1).
+    for f in findings {
+        let allow = allows.iter_mut().find(|a| {
+            a.lint == f.lint
+                && (a.line == f.line || a.line + 1 == f.line || f.lint == Lint::MissingForbid)
+        });
+        match allow {
+            Some(a) => a.used = true,
+            None => report.findings.push(f),
+        }
+    }
+    report.allows.extend(allows);
+}
+
+fn parse_allows(file: &str, view: &FileView, report: &mut Report) -> Vec<AllowEntry> {
+    // The directive must be the whole line comment: `// xtask: allow(..)`.
+    // Matching against the lexer's comment text (not the raw line) keeps
+    // mentions inside strings and `///`/`//!` docs from parsing as allows.
+    const MARKER: &str = "xtask: allow(";
+    let mut out = Vec::new();
+    for (i, comment) in view.comment.iter().enumerate() {
+        let Some(text) = comment.as_deref().map(str::trim_start) else {
+            continue;
+        };
+        if !text.starts_with(MARKER) {
+            continue;
+        }
+        let line = i + 1;
+        let rest = &text[MARKER.len()..];
+        let bad = |msg: String, report: &mut Report| {
+            report.findings.push(Finding {
+                lint: Lint::BadAllow,
+                file: file.to_string(),
+                line,
+                message: msg,
+            });
+        };
+        let Some(close) = rest.find(')') else {
+            bad("unclosed `// xtask: allow(`".to_string(), report);
+            continue;
+        };
+        let name = rest[..close].trim();
+        let Some(lint) = Lint::from_name(name) else {
+            bad(
+                format!("unknown lint `{name}` in allow (see `xtask analyze --help`)"),
+                report,
+            );
+            continue;
+        };
+        let after = &rest[close + 1..];
+        let justification = after
+            .split_once("--")
+            .map(|(_, j)| j.trim().to_string())
+            .unwrap_or_default();
+        if justification.is_empty() {
+            bad(
+                format!("allow({name}) needs a justification: `// xtask: allow({name}) -- <why>`"),
+                report,
+            );
+            continue;
+        }
+        out.push(AllowEntry {
+            file: file.to_string(),
+            line,
+            lint,
+            justification,
+            used: false,
+        });
+    }
+    out
+}
+
+fn run_token_lints(file: &str, view: &FileView, findings: &mut Vec<Finding>) {
+    let in_bench_crate = crate_of(file) == Some("bench");
+    let engine = is_engine_crate(file);
+    let test_path = is_test_path(file);
+
+    for (i, code) in view.code.iter().enumerate() {
+        let line = i + 1;
+        if test_path || view.test[i] {
+            continue; // determinism lints skip test code
+        }
+        let push = |lint: Lint, message: String, findings: &mut Vec<Finding>| {
+            findings.push(Finding {
+                lint,
+                file: file.to_string(),
+                line,
+                message,
+            });
+        };
+
+        if engine && (contains_word(code, "HashMap") || contains_word(code, "HashSet")) {
+            push(
+                Lint::HashIteration,
+                "hash containers iterate in RandomState order, which can leak into \
+                 tie-breaks, RNG draws, and serialized records; use BTreeMap/BTreeSet \
+                 (or allowlist a lookup-only use with a justification)"
+                    .to_string(),
+                findings,
+            );
+        }
+
+        if !in_bench_crate && (code.contains("Instant::now") || contains_word(code, "SystemTime")) {
+            push(
+                Lint::WallClock,
+                "wall-clock reads outside crates/bench break run reproducibility; \
+                 simulated time is the only clock the engine may consult"
+                    .to_string(),
+                findings,
+            );
+        }
+
+        if !in_bench_crate {
+            if contains_word(code, "thread_rng") || contains_word(code, "from_entropy") {
+                push(
+                    Lint::RngStream,
+                    "entropy-seeded RNGs make runs irreproducible; derive every RNG \
+                     from the run seed via a named *_STREAM constant"
+                        .to_string(),
+                    findings,
+                );
+            }
+            for arg in call_args(code, "seed_from_u64") {
+                if !seed_arg_ok(&arg) {
+                    push(
+                        Lint::RngStream,
+                        format!(
+                            "`seed_from_u64({arg})` is not derived from the run seed; \
+                             pass the bare seed or `seed ^ <NAME>_STREAM` with a named \
+                             stream constant"
+                        ),
+                        findings,
+                    );
+                }
+            }
+        }
+
+        if code.contains("partial_cmp") && !code.contains("fn partial_cmp") {
+            let next = view.code.get(i + 1).map(String::as_str).unwrap_or("");
+            let unwrapped = [code, next].iter().any(|l| {
+                l.contains(".unwrap()") || l.contains(".expect(") || l.contains(".unwrap_or(")
+            });
+            if unwrapped {
+                push(
+                    Lint::FloatOrd,
+                    "float ordering via partial_cmp + unwrap/expect/unwrap_or panics \
+                     (or lies) on NaN; use f64::total_cmp for a deterministic total \
+                     order"
+                        .to_string(),
+                    findings,
+                );
+            }
+        }
+    }
+}
+
+/// Extracts the argument text of each `name(...)` call on a code line.
+fn call_args(code: &str, name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(name) {
+        let start = from + pos + name.len();
+        from = start;
+        let rest = &code[start..];
+        if !rest.starts_with('(') {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut end = rest.len();
+        for (j, c) in rest.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push(rest[1..end].trim().to_string());
+    }
+    out
+}
+
+/// A `seed_from_u64` argument is acceptable when it references a named
+/// `*_STREAM` constant, or is a plain path expression mentioning the
+/// seed (`seed`, `run_seed`, `self.seed`, …) with no arithmetic.
+fn seed_arg_ok(arg: &str) -> bool {
+    if arg.contains("_STREAM") {
+        return true;
+    }
+    let plain = arg
+        .chars()
+        .all(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':' | ' '));
+    plain && arg.to_lowercase().contains("seed")
+}
+
+fn run_unsafe_audit(file: &str, view: &FileView, findings: &mut Vec<Finding>, report: &mut Report) {
+    for (i, code) in view.code.iter().enumerate() {
+        let mut from = 0;
+        while let Some(pos) = find_word(&code[from..], "unsafe") {
+            let at = from + pos;
+            from = at + "unsafe".len();
+            let after = code[from..].trim_start();
+            let kind = if after.starts_with("fn") {
+                "fn"
+            } else if after.starts_with("impl") {
+                "impl"
+            } else if after.starts_with("trait") {
+                "trait"
+            } else {
+                "block"
+            };
+            let safety = safety_comment(view, i);
+            if safety.is_none() {
+                findings.push(Finding {
+                    lint: Lint::UndocumentedUnsafe,
+                    file: file.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "unsafe {kind} without a `// SAFETY:` comment on or directly \
+                         above it"
+                    ),
+                });
+            }
+            report.unsafe_sites.push(UnsafeSite {
+                file: file.to_string(),
+                line: i + 1,
+                kind,
+                safety,
+            });
+        }
+    }
+}
+
+/// The `SAFETY:` text for an unsafe site on line `i` (0-based): trailing
+/// on the same raw line, or in the contiguous block of comments and
+/// attributes directly above.
+fn safety_comment(view: &FileView, i: usize) -> Option<String> {
+    let extract = |raw: &str| {
+        raw.find("SAFETY:")
+            .map(|p| raw[p + "SAFETY:".len()..].trim().to_string())
+    };
+    if let Some(text) = view.comment[i].as_deref().and_then(extract) {
+        return Some(text);
+    }
+    for j in (0..i).rev() {
+        let t = view.raw[j].trim();
+        if t.starts_with("//") {
+            if let Some(text) = extract(t) {
+                return Some(text);
+            }
+        } else if !t.starts_with("#[") && !t.starts_with("#![") {
+            break;
+        }
+    }
+    None
+}
+
+fn run_forbid_lint(file: &str, view: &FileView, findings: &mut Vec<Finding>) {
+    if !requires_forbid(file) {
+        return;
+    }
+    let has = view
+        .code
+        .iter()
+        .any(|l| l.replace(' ', "").contains("#![forbid(unsafe_code)]"));
+    if !has {
+        findings.push(Finding {
+            lint: Lint::MissingForbid,
+            file: file.to_string(),
+            line: 1,
+            message: "crate root lacks #![forbid(unsafe_code)]; only crates/gf256 may \
+                      contain unsafe so the audit inventory stays in one place"
+                .to_string(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexer: raw lines + comment/string-blanked code lines + test regions.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum LexState {
+    Normal,
+    /// Nesting depth of `/* */`.
+    Block(usize),
+    Str,
+    /// `r##"..."##` with this many hashes.
+    RawStr(usize),
+}
+
+fn lex(text: &str) -> FileView {
+    let raw: Vec<String> = text.lines().map(str::to_string).collect();
+    let mut code = Vec::with_capacity(raw.len());
+    let mut comment: Vec<Option<String>> = Vec::with_capacity(raw.len());
+    let mut state = LexState::Normal;
+
+    for line in &raw {
+        let bytes: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(line.len());
+        let mut line_comment: Option<String> = None;
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            match state {
+                LexState::Block(depth) => {
+                    if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        state = LexState::Block(depth + 1);
+                        out.push_str("  ");
+                        i += 2;
+                    } else if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            LexState::Normal
+                        } else {
+                            LexState::Block(depth - 1)
+                        };
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                LexState::Str => {
+                    if c == '\\' {
+                        out.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        state = LexState::Normal;
+                        out.push('"');
+                        i += 1;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                LexState::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&bytes, i, hashes) {
+                        state = LexState::Normal;
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                LexState::Normal => {
+                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                        // Line comment: record its text, blank the rest.
+                        if line_comment.is_none() {
+                            line_comment = Some(bytes[i + 2..].iter().collect());
+                        }
+                        while i < bytes.len() {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        state = LexState::Block(1);
+                        out.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        state = LexState::Str;
+                        out.push('"');
+                        i += 1;
+                    } else if c == 'r' && is_raw_str_start(&bytes, i) {
+                        let hashes = count_hashes(&bytes, i + 1);
+                        state = LexState::RawStr(hashes);
+                        out.push('r');
+                        for _ in 0..hashes + 1 {
+                            out.push(' ');
+                        }
+                        i += hashes + 2;
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a literal closes with
+                        // a quote after one (possibly escaped) character.
+                        if bytes.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip to the closing quote.
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            for _ in i..=j.min(bytes.len() - 1) {
+                                out.push(' ');
+                            }
+                            i = j + 1;
+                        } else if bytes.get(i + 2) == Some(&'\'') {
+                            out.push_str("   ");
+                            i += 3;
+                        } else {
+                            // Lifetime: keep as code.
+                            out.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        code.push(out);
+        comment.push(line_comment);
+    }
+
+    let test = mark_test_regions(&code);
+    FileView {
+        raw,
+        code,
+        test,
+        comment,
+    }
+}
+
+fn is_raw_str_start(bytes: &[char], i: usize) -> bool {
+    // `r"` or `r#...#"`, not part of an identifier like `striped_r`.
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    let hashes = count_hashes(bytes, i + 1);
+    bytes.get(i + 1 + hashes) == Some(&'"')
+}
+
+fn count_hashes(bytes: &[char], mut i: usize) -> usize {
+    let mut n = 0;
+    while bytes.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn closes_raw(bytes: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Marks the lines covered by `#[cfg(test)]` items: from the attribute
+/// through the matching close brace of the item it gates.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut test = vec![false; code.len()];
+    let mut depth = 0usize;
+    let mut region_depth: Option<usize> = None;
+    let mut pending = false;
+
+    for (i, line) in code.iter().enumerate() {
+        if region_depth.is_some() || pending {
+            test[i] = true;
+        }
+        if line.contains("#[cfg(test") {
+            pending = true;
+            test[i] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending && region_depth.is_none() {
+                        region_depth = Some(depth);
+                        pending = false;
+                        test[i] = true;
+                    }
+                }
+                '}' => {
+                    if region_depth == Some(depth) {
+                        region_depth = None;
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                // `#[cfg(test)] use …;` — the attribute gated a
+                // braceless item; the region ends here.
+                ';' if pending && region_depth.is_none() => pending = false,
+                _ => {}
+            }
+        }
+    }
+    test
+}
+
+/// `needle` appears in `haystack` delimited by non-identifier chars.
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    find_word(haystack, needle).is_some()
+}
+
+fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !haystack[..at].chars().next_back().is_some_and(is_ident);
+        let after_ok = !haystack[at + needle.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    fn report_for(file: &str, text: &str) -> Report {
+        let mut r = Report::default();
+        analyze_file(file, text, &mut r);
+        r
+    }
+
+    #[test]
+    fn lexer_blanks_comments_and_strings() {
+        let v = lex(
+            "let x = \"HashMap\"; // HashMap\nlet y = 'a';\n/* HashMap\nHashMap */ let z = 1;\n",
+        );
+        assert!(!v.code[0].contains("HashMap"), "{}", v.code[0]);
+        assert!(!v.code[1].contains('a'));
+        assert!(!v.code[2].contains("HashMap"));
+        assert!(v.code[3].contains("let z"));
+        assert!(!v.code[3].contains("HashMap"));
+    }
+
+    #[test]
+    fn lexer_keeps_lifetimes() {
+        let v = lex("impl<'a> Foo<'a> { fn f(&'a self) {} }\n");
+        assert!(v.code[0].contains("<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_gated_item() {
+        let v = lex("fn a() {}\n#[cfg(test)]\nmod test {\n    fn b() {}\n}\nfn c() {}\n");
+        assert_eq!(v.test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(contains_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!contains_word("forbid(unsafe_code)", "unsafe"));
+        assert!(!contains_word("MyHashMapLike", "HashMap"));
+    }
+
+    #[test]
+    fn seed_args_classified() {
+        assert!(seed_arg_ok("seed"));
+        assert!(seed_arg_ok("run_seed"));
+        assert!(seed_arg_ok("self.seed"));
+        assert!(seed_arg_ok("seed ^ CHANNEL_STREAM"));
+        assert!(seed_arg_ok("seed ^ attempt.wrapping_mul(GEO_STREAM)"));
+        assert!(!seed_arg_ok("12345"));
+        assert!(!seed_arg_ok("seed * 31 + k"));
+        assert!(!seed_arg_ok("k as u64"));
+    }
+
+    #[test]
+    fn engine_crate_classification() {
+        assert!(is_engine_crate("crates/mesh-sim/src/simulator.rs"));
+        assert!(is_engine_crate("crates/scenario/src/sink.rs"));
+        assert!(!is_engine_crate("crates/bench/src/stats.rs"));
+        assert!(!is_engine_crate("crates/gf256/src/wide.rs"));
+        assert!(!is_engine_crate("src/lib.rs"));
+        assert!(!is_engine_crate("examples/quickstart.rs"));
+    }
+
+    #[test]
+    fn forbid_required_everywhere_but_gf256() {
+        assert!(requires_forbid("src/lib.rs"));
+        assert!(requires_forbid("crates/mesh-sim/src/lib.rs"));
+        assert!(requires_forbid("crates/xtask/src/lib.rs"));
+        assert!(!requires_forbid("crates/gf256/src/lib.rs"));
+        assert!(!requires_forbid("crates/mesh-sim/src/simulator.rs"));
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_finding() {
+        let r = report_for(
+            "crates/mesh-sim/src/x.rs",
+            "// xtask: allow(hash_iteration)\nuse std::collections::BTreeMap;\n",
+        );
+        assert_eq!(r.of(Lint::BadAllow).len(), 1);
+    }
+
+    #[test]
+    fn unknown_allow_lint_is_a_finding() {
+        let r = report_for(
+            "crates/mesh-sim/src/x.rs",
+            "// xtask: allow(no_such_lint) -- why\n",
+        );
+        assert_eq!(r.of(Lint::BadAllow).len(), 1);
+    }
+
+    #[test]
+    fn multiline_partial_cmp_chain_is_caught() {
+        let text = "fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a\n        .partial_cmp(b)\n        .unwrap_or(std::cmp::Ordering::Equal));\n}\n";
+        let r = report_for("crates/mesh-metrics/src/x.rs", text);
+        assert_eq!(r.of(Lint::FloatOrd).len(), 1);
+        assert_eq!(r.of(Lint::FloatOrd)[0].line, 3);
+    }
+
+    #[test]
+    fn safety_comment_above_attribute_counts() {
+        let text = "// SAFETY: caller guarantees the target feature.\n#[target_feature(enable = \"avx2\")]\nunsafe fn f() {}\n";
+        let r = report_for("crates/gf256/src/x.rs", text);
+        assert!(r.of(Lint::UndocumentedUnsafe).is_empty());
+        assert_eq!(r.unsafe_sites.len(), 1);
+        assert_eq!(r.unsafe_sites[0].kind, "fn");
+        assert!(r.unsafe_sites[0]
+            .safety
+            .as_deref()
+            .unwrap()
+            .contains("target feature"));
+    }
+}

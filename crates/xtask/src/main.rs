@@ -1,0 +1,77 @@
+//! `cargo run -p xtask -- analyze [--root DIR]`
+//!
+//! Runs the determinism and unsafe-audit lints over the workspace and
+//! prints the report (findings, unsafe inventory, allowlist accounting).
+//! Exits non-zero when any finding survives the allowlist.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo run -p xtask -- analyze [--root DIR]
+
+Runs the workspace static-analysis suite:
+  determinism lints   hash_iteration, wall_clock, rng_stream, float_ord
+  unsafe audit        undocumented_unsafe, missing_forbid
+  escape hatch        // xtask: allow(<lint>) -- <justification>
+
+--root DIR   analyze DIR instead of the enclosing workspace root
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut cmd: Option<&str> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "analyze" if cmd.is_none() => cmd = Some("analyze"),
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if cmd != Some("analyze") {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    // Default root: the workspace that contains this crate.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("crates/xtask sits two levels below the workspace root")
+            .to_path_buf()
+    });
+
+    let report = match xtask::analyze_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: failed to read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,119 @@
+//! The analyzer against its fixture trees and the real workspace: one
+//! test per lint on the deliberately-bad tree, allowlist suppression
+//! and accounting, and the real workspace staying clean.
+
+use std::path::PathBuf;
+use xtask::{analyze_root, Lint, Report};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn bad_report() -> Report {
+    analyze_root(&fixture("bad")).expect("analyze bad fixture tree")
+}
+
+#[test]
+fn bad_tree_is_dirty() {
+    assert!(!bad_report().is_clean());
+}
+
+#[test]
+fn hash_iteration_fires_outside_tests_only() {
+    let r = bad_report();
+    let lines: Vec<usize> = r.of(Lint::HashIteration).iter().map(|f| f.line).collect();
+    // `use HashMap` + two body mentions fire; the #[cfg(test)] HashSet
+    // (two mentions) must not.
+    assert_eq!(lines, vec![5, 7, 8], "{lines:?}");
+}
+
+#[test]
+fn wall_clock_fires() {
+    let r = bad_report();
+    assert_eq!(r.of(Lint::WallClock).len(), 1);
+    assert_eq!(r.of(Lint::WallClock)[0].line, 12);
+}
+
+#[test]
+fn rng_stream_fires_on_entropy_and_unnamed_streams_only() {
+    let r = bad_report();
+    let lines: Vec<usize> = r.of(Lint::RngStream).iter().map(|f| f.line).collect();
+    // thread_rng (17) and the magic-number stream (21) fire; the named
+    // *_STREAM constant (25) and the #[cfg(test)] literal seed do not.
+    assert_eq!(lines, vec![16, 20], "{lines:?}");
+}
+
+#[test]
+fn float_ord_fires_including_multiline_chains() {
+    let r = bad_report();
+    let lines: Vec<usize> = r.of(Lint::FloatOrd).iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![28, 33], "{lines:?}");
+}
+
+#[test]
+fn undocumented_unsafe_fires_and_is_inventoried() {
+    let r = bad_report();
+    assert_eq!(r.of(Lint::UndocumentedUnsafe).len(), 1);
+    assert_eq!(r.of(Lint::UndocumentedUnsafe)[0].line, 39);
+    assert_eq!(r.unsafe_sites.len(), 1);
+    assert!(r.unsafe_sites[0].safety.is_none());
+}
+
+#[test]
+fn missing_forbid_fires_on_the_crate_root() {
+    let r = bad_report();
+    assert_eq!(r.of(Lint::MissingForbid).len(), 1);
+    assert_eq!(
+        r.of(Lint::MissingForbid)[0].file,
+        "crates/mesh-sim/src/lib.rs"
+    );
+}
+
+#[test]
+fn allowlist_suppresses_and_every_entry_is_reported() {
+    let r = analyze_root(&fixture("allow")).expect("analyze allow fixture tree");
+    assert!(
+        r.is_clean(),
+        "all violations are allowlisted:\n{}",
+        r.render()
+    );
+    // Six used entries: missing_forbid, 3× hash_iteration, wall_clock,
+    // float_ord — plus the deliberately-unused rng_stream one.
+    assert_eq!(r.allows.len(), 7);
+    let unused: Vec<&str> = r
+        .allows
+        .iter()
+        .filter(|a| !a.used)
+        .map(|a| a.lint.name())
+        .collect();
+    assert_eq!(unused, vec!["rng_stream"]);
+    let rendered = r.render();
+    assert!(rendered.contains("allowlist entries: 7"));
+    assert!(rendered.contains("UNUSED"));
+    assert!(rendered.contains("lookup-only cache, never iterated"));
+}
+
+#[test]
+fn real_workspace_is_clean_with_a_fully_documented_unsafe_inventory() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let r = analyze_root(&root).expect("analyze workspace");
+    assert!(
+        r.is_clean(),
+        "workspace must stay lint-clean:\n{}",
+        r.render()
+    );
+    // The audited gf256 SIMD surface: 6 dispatch blocks + 6
+    // target_feature fns, every one carrying a SAFETY comment.
+    assert_eq!(r.unsafe_sites.len(), 12, "{}", r.render());
+    assert!(r.unsafe_sites.iter().all(|s| s.safety.is_some()));
+    assert!(r
+        .unsafe_sites
+        .iter()
+        .all(|s| s.file == "crates/gf256/src/wide.rs"));
+}

@@ -14,6 +14,8 @@
 //!   protocol registry (declare topology + traffic + protocols + sweeps,
 //!   run the grid in parallel, read structured records).
 
+#![forbid(unsafe_code)]
+
 pub use baselines;
 pub use gf256;
 pub use mesh_metrics as metrics;

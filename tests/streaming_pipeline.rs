@@ -155,7 +155,7 @@ impl<S: RunSink> RunSink for FailAfter<S> {
     fn offsets(&mut self) -> io::Result<Vec<(String, u64)>> {
         self.inner.offsets()
     }
-    fn rewind_to(&mut self, offsets: &std::collections::HashMap<String, u64>) -> io::Result<()> {
+    fn rewind_to(&mut self, offsets: &std::collections::BTreeMap<String, u64>) -> io::Result<()> {
         self.inner.rewind_to(offsets)
     }
 }
