@@ -21,6 +21,7 @@
 //! ExOR flow cannot exploit spatial reuse — the structural cost MORE
 //! removes (§4.2.3).
 
+use bytes::Bytes;
 use mesh_metrics::etx::LinkCost;
 use mesh_metrics::{EtxTable, ForwarderPlan, PlanConfig};
 use mesh_sim::{Ctx, Frame, NodeAgent, OutFrame, Time, TxOutcome};
@@ -73,8 +74,9 @@ pub enum ExorPayload {
         /// Packets the sender will still transmit this turn (0 ⇒ the turn
         /// passes to the next rank).
         remaining: u16,
-        /// Batch map: best-known holder rank per packet.
-        map: Vec<u8>,
+        /// Batch map: best-known holder rank per packet. Refcounted so the
+        /// engine's per-receiver frame clone is O(1), not a map copy.
+        map: Bytes,
     },
     /// A map-only frame: the destination's slot, or an empty turn's
     /// explicit handoff.
@@ -82,7 +84,7 @@ pub enum ExorPayload {
         flow: u32,
         batch: u32,
         sender_rank: u8,
-        map: Vec<u8>,
+        map: Bytes,
     },
     /// Endgame unicast of a straggler packet along the ETX path.
     Direct { flow: u32, batch: u32, seq: u32 },
@@ -717,7 +719,7 @@ impl NodeAgent for ExorAgent {
             if let Some(seq) = ns.turn_queue.pop_front() {
                 ns.map[seq as usize] = ns.map[seq as usize].min(my_rank);
                 let remaining = ns.turn_queue.len() as u16;
-                let map = ns.map.clone();
+                let map = Bytes::copy_from_slice(&ns.map);
                 self.rr[node.0] = fi + 1;
                 return Some(OutFrame {
                     dst: None,
@@ -734,7 +736,7 @@ impl NodeAgent for ExorAgent {
                 });
             }
             // Empty turn: one gossip frame passes the token explicitly.
-            let map = ns.map.clone();
+            let map = Bytes::copy_from_slice(&ns.map);
             let batch = ns.batch;
             self.rr[node.0] = fi + 1;
             return Some(OutFrame {

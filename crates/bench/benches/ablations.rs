@@ -55,13 +55,13 @@ fn bench_vector_check_vs_full_elimination(c: &mut Criterion) {
     let mut full = Decoder::new(K, PACKET);
     for _ in 0..K - 1 {
         let p = enc.encode(&mut rng);
-        tracker.absorb(&p.vector);
+        tracker.absorb(p.vector());
         full.receive(&p);
     }
     let probe = enc.encode(&mut rng);
 
     group.bench_function("vectors_only", |b| {
-        b.iter(|| black_box(tracker.is_innovative(&probe.vector)))
+        b.iter(|| black_box(tracker.is_innovative(probe.vector())))
     });
     group.bench_function("full_payload_elimination", |b| {
         b.iter(|| {

@@ -28,7 +28,7 @@ fn bench_independence_check(c: &mut Criterion) {
         // A tracker holding K−1 vectors: the worst-case check.
         let mut tracker = InnovationTracker::new(k);
         while tracker.rank() < k - 1 {
-            tracker.absorb(&CodeVector::random(k, &mut rng));
+            tracker.absorb(CodeVector::random(k, &mut rng));
         }
         let probe = CodeVector::random(k, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {

@@ -16,9 +16,12 @@
 //!   [`NodeAgent`] (and [`FlowAgent`]), so it drops straight into
 //!   [`crate::Simulator`].
 //!
-//! The erasure costs one `Rc` allocation per transmitted frame and one
-//! payload clone per reception — noise next to the per-frame event and
-//! medium bookkeeping.
+//! The erasure costs one `Rc` allocation per transmitted frame plus one
+//! payload clone per reception. For payloads built on refcounted packet
+//! buffers (the zero-copy path) that clone is a reference-count bump, not
+//! a copy; [`NodeAgent::recycle`] is forwarded through the erasure (the
+//! `Rc` is unwrapped when the engine really held the last reference) so
+//! pooled buffers flow back to their pool across the type boundary too.
 
 use crate::{Ctx, Frame, NodeAgent, OutFrame, Time, TxOutcome};
 use mesh_topology::NodeId;
@@ -129,6 +132,8 @@ pub trait ErasedFlowAgent {
     fn poll_tx(&mut self, node: NodeId, ctx: &mut Ctx<'_>) -> Option<OutFrame<DynPayload>>;
     /// [`NodeAgent::on_timer`], unchanged.
     fn on_timer(&mut self, node: NodeId, token: u64, ctx: &mut Ctx<'_>);
+    /// [`NodeAgent::recycle`] over the erased payload.
+    fn recycle(&mut self, payload: DynPayload);
     /// [`FlowAgent::flows_done`], unchanged.
     fn flows_done(&self) -> bool;
     /// [`FlowAgent::flow_progress`], unchanged.
@@ -186,6 +191,16 @@ where
         self.0.on_timer(node, token, ctx);
     }
 
+    fn recycle(&mut self, payload: DynPayload) {
+        // Only unwrap when the engine really held the last reference —
+        // a receiver may have kept the payload alive.
+        if let Ok(rc) = payload.downcast::<A::Payload>() {
+            if let Ok(p) = Rc::try_unwrap(rc) {
+                self.0.recycle(p);
+            }
+        }
+    }
+
     fn flows_done(&self) -> bool {
         self.0.flows_done()
     }
@@ -232,6 +247,10 @@ impl NodeAgent for Box<dyn ErasedFlowAgent> {
 
     fn on_timer(&mut self, node: NodeId, token: u64, ctx: &mut Ctx<'_>) {
         (**self).on_timer(node, token, ctx);
+    }
+
+    fn recycle(&mut self, payload: DynPayload) {
+        (**self).recycle(payload);
     }
 }
 

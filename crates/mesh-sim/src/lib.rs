@@ -239,6 +239,14 @@ pub trait NodeAgent {
 
     /// A timer set via [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, _node: NodeId, _token: u64, _ctx: &mut Ctx<'_>) {}
+
+    /// The simulator is done with a frame's payload: the broadcast left
+    /// the air and every receiver has been served. If the agent's payload
+    /// holds pooled buffers (refcounted packet data), this is the hook to
+    /// recycle them — the payload handed in is the frame's own copy, so
+    /// when no receiver kept a reference the agent gets the sole one back.
+    /// The default drops it.
+    fn recycle(&mut self, _payload: Self::Payload) {}
 }
 
 #[cfg(test)]

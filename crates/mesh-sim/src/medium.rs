@@ -52,6 +52,10 @@ pub struct Medium {
     /// All transmissions whose `end` is within the retention horizon.
     active: Vec<Transmission>,
     horizon: Time,
+    /// Scratch: indices into `active` of the transmissions overlapping the
+    /// frame being judged, computed once per [`Medium::evaluate_reception_into`]
+    /// call instead of once per (receiver × transmission) pair.
+    overlap_idx: Vec<usize>,
 }
 
 impl Medium {
@@ -89,6 +93,7 @@ impl Medium {
             interfere,
             active: Vec::new(),
             horizon: 100 * crate::MS,
+            overlap_idx: Vec::new(),
         }
     }
 
@@ -146,7 +151,7 @@ impl Medium {
     /// incremented for the stats module.
     #[allow(clippy::too_many_arguments)]
     pub fn evaluate_reception(
-        &self,
+        &mut self,
         id: u64,
         chan: &dyn ChannelModel,
         cfg: &SimConfig,
@@ -154,13 +159,48 @@ impl Medium {
         collisions: &mut u64,
         captures: &mut u64,
     ) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.evaluate_reception_into(id, chan, cfg, rng, collisions, captures, &mut out);
+        out
+    }
+
+    /// [`Medium::evaluate_reception`] writing the receiver set into a
+    /// caller-supplied vector (cleared first), so the engine's hot path
+    /// reuses one allocation per run instead of one per transmission. The
+    /// transmissions overlapping the frame are gathered once into a
+    /// persistent scratch and shared by the half-duplex and interferer
+    /// checks of every receiver. Same receivers, same counter increments,
+    /// and — critically — the same RNG draws in the same order as the
+    /// per-receiver scan it replaces.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_reception_into(
+        &mut self,
+        id: u64,
+        chan: &dyn ChannelModel,
+        cfg: &SimConfig,
+        rng: &mut impl Rng,
+        collisions: &mut u64,
+        captures: &mut u64,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
         let f = self
             .active
             .iter()
             .find(|t| t.id == id)
-            .expect("evaluating unknown transmission");
+            .expect("evaluating unknown transmission")
+            .clone();
         let now = f.end;
-        let mut out = Vec::new();
+        // One pass over the air instead of two per receiver.
+        let mut overlap_idx = std::mem::take(&mut self.overlap_idx);
+        overlap_idx.clear();
+        overlap_idx.extend(
+            self.active
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.id != f.id && overlaps(t, &f))
+                .map(|(i, _)| i),
+        );
         for r in 0..self.n {
             let r = NodeId(r);
             if r == f.tx {
@@ -171,16 +211,15 @@ impl Medium {
                 continue;
             }
             // Half-duplex: r transmitting during any part of f's airtime.
-            let r_was_transmitting = self.active.iter().any(|t| t.tx == r && overlaps(t, f));
+            let r_was_transmitting = overlap_idx.iter().any(|&i| self.active[i].tx == r);
             if r_was_transmitting {
                 continue;
             }
             // Strongest overlapping interferer at r.
-            let strongest: f64 = self
-                .active
+            let strongest: f64 = overlap_idx
                 .iter()
-                .filter(|t| t.id != f.id && t.tx != r && overlaps(t, f))
-                .filter(|t| self.interferes(t.tx, r))
+                .map(|&i| &self.active[i])
+                .filter(|t| t.tx != r && self.interferes(t.tx, r))
                 .map(|t| chan.delivery(t.tx, r, now).max(0.05))
                 .fold(0.0, f64::max);
             if strongest > 0.0 {
@@ -194,7 +233,7 @@ impl Medium {
                 out.push(r);
             }
         }
-        out
+        self.overlap_idx = overlap_idx;
     }
 
     /// The record for a transmission id, if still retained.

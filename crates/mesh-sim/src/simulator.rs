@@ -149,6 +149,13 @@ pub struct Simulator<A: NodeAgent> {
     /// How many of the pending actions are `Start`s (fast path for the
     /// stop-condition gate: only future *arrivals* can un-resolve a run).
     pending_starts: usize,
+    /// Scratch for [`Ctx::set_timer`] requests, reused across callbacks so
+    /// the per-event hot path allocates nothing.
+    scratch_timers: Vec<(NodeId, Time, u64)>,
+    /// Scratch for [`Ctx::mark_backlogged`] requests (see above).
+    scratch_kicks: Vec<NodeId>,
+    /// Scratch for the per-transmission receiver set.
+    scratch_receivers: Vec<NodeId>,
     /// Counters accumulated over the run.
     pub stats: SimStats,
 }
@@ -208,6 +215,9 @@ impl<A: NodeAgent> Simulator<A> {
             traffic: Vec::new(),
             traffic_seq: 0,
             pending_starts: 0,
+            scratch_timers: Vec::new(),
+            scratch_kicks: Vec::new(),
+            scratch_receivers: Vec::new(),
             stats: SimStats::new(n),
         }
     }
@@ -330,8 +340,8 @@ impl<A: NodeAgent> Simulator<A> {
                 let mut ctx = Ctx {
                     now: self.now,
                     rng: &mut self.rng,
-                    timers: Vec::new(),
-                    kicks: Vec::new(),
+                    timers: std::mem::take(&mut self.scratch_timers),
+                    kicks: std::mem::take(&mut self.scratch_kicks),
                 };
                 self.agent.on_timer(node, token, &mut ctx);
                 let Ctx { timers, kicks, .. } = ctx;
@@ -340,13 +350,17 @@ impl<A: NodeAgent> Simulator<A> {
         }
     }
 
-    fn apply_ctx(&mut self, timers: Vec<(NodeId, Time, u64)>, kicks: Vec<NodeId>) {
-        for (node, delay, token) in timers {
+    /// Applies queued callback mutations, then parks the (now empty)
+    /// vectors back in the scratch slots for the next callback.
+    fn apply_ctx(&mut self, mut timers: Vec<(NodeId, Time, u64)>, mut kicks: Vec<NodeId>) {
+        for (node, delay, token) in timers.drain(..) {
             self.push(self.now + delay, EventKind::Timer { node, token });
         }
-        for node in kicks {
+        for node in kicks.drain(..) {
             self.kick_at(node, self.now);
         }
+        self.scratch_timers = timers;
+        self.scratch_kicks = kicks;
     }
 
     fn on_try_tx(&mut self, node: NodeId) {
@@ -371,8 +385,8 @@ impl<A: NodeAgent> Simulator<A> {
             let mut ctx = Ctx {
                 now: self.now,
                 rng: &mut self.rng,
-                timers: Vec::new(),
-                kicks: Vec::new(),
+                timers: std::mem::take(&mut self.scratch_timers),
+                kicks: std::mem::take(&mut self.scratch_kicks),
             };
             let polled = self.agent.poll_tx(node, &mut ctx);
             let Ctx { timers, kicks, .. } = ctx;
@@ -431,13 +445,15 @@ impl<A: NodeAgent> Simulator<A> {
         // Let the channel evolve to the frame's end before judging it.
         self.channel.tick(self.now);
         let (mut collisions, mut captures) = (0, 0);
-        let receivers = self.medium.evaluate_reception(
+        let mut receivers = std::mem::take(&mut self.scratch_receivers);
+        self.medium.evaluate_reception_into(
             id,
             self.channel.as_ref(),
             &self.cfg,
             &mut self.rng,
             &mut collisions,
             &mut captures,
+            &mut receivers,
         );
         self.stats.collisions += collisions;
         self.stats.captures += captures;
@@ -445,14 +461,17 @@ impl<A: NodeAgent> Simulator<A> {
         match in_flight {
             InFlight::Data { frame } => {
                 let sender = frame.from;
-                // Deliver to the protocol at each receiver.
+                // Deliver to the protocol at each receiver. One Ctx per
+                // receiver, applied in order: backoff RNG draws triggered
+                // by a receiver's kicks must happen before the next
+                // receiver's callback, exactly as they always have.
                 for &r in &receivers {
                     self.stats.rx_frames[r.0] += 1;
                     let mut ctx = Ctx {
                         now: self.now,
                         rng: &mut self.rng,
-                        timers: Vec::new(),
-                        kicks: Vec::new(),
+                        timers: std::mem::take(&mut self.scratch_timers),
+                        kicks: std::mem::take(&mut self.scratch_kicks),
                     };
                     self.agent.on_receive(r, &frame, &mut ctx);
                     let Ctx { timers, kicks, .. } = ctx;
@@ -460,9 +479,13 @@ impl<A: NodeAgent> Simulator<A> {
                 }
                 match frame.dst {
                     None => {
-                        // Broadcast: done immediately.
+                        // Broadcast: done immediately. The frame now holds
+                        // the last engine-side reference to the payload
+                        // (the sender's retained copy was cleared above),
+                        // so hand it back to the agent for buffer reuse.
                         self.current[sender.0] = None;
                         self.finish_tx(sender, TxOutcome::Broadcast);
+                        self.agent.recycle(frame.payload);
                     }
                     Some(dst) => {
                         if receivers.contains(&dst) {
@@ -499,6 +522,7 @@ impl<A: NodeAgent> Simulator<A> {
                 }
             }
         }
+        self.scratch_receivers = receivers;
     }
 
     fn on_start_mac_ack(&mut self, node: NodeId, data_id: u64) {
@@ -564,8 +588,8 @@ impl<A: NodeAgent> Simulator<A> {
         let mut ctx = Ctx {
             now: self.now,
             rng: &mut self.rng,
-            timers: Vec::new(),
-            kicks: Vec::new(),
+            timers: std::mem::take(&mut self.scratch_timers),
+            kicks: std::mem::take(&mut self.scratch_kicks),
         };
         self.agent.on_tx_done(node, outcome, &mut ctx);
         let Ctx { timers, kicks, .. } = ctx;

@@ -3,13 +3,13 @@
 
 use crate::flow::{BatchState, FlowId, FlowProgress, MoreFlow, NodeFlowState};
 use crate::header::MorePayload;
-use crate::{batch_natives, ForwarderMetric, MoreConfig};
+use crate::{native_byte, ForwarderMetric, MoreConfig};
 use mesh_metrics::etx::LinkCost;
 use mesh_metrics::{EtxTable, ForwarderPlan};
 use mesh_sim::{Ctx, Frame, NodeAgent, OutFrame, TxOutcome};
 use mesh_topology::{NodeId, Topology};
 use rand::Rng;
-use rlnc::{CodeVector, CodedPacket, Decoder, ForwarderBuffer, InnovationTracker, SourceEncoder};
+use rlnc::{pool, CodedPacket, Decoder, ForwarderBuffer, InnovationTracker, SourceEncoder};
 
 /// Size of a batch-ACK frame on the air (type + ids + MAC framing).
 const ACK_BYTES: usize = 30;
@@ -148,34 +148,27 @@ impl MoreAgent {
         };
     }
 
-    /// Feeds a received coded packet into the node's batch state; returns
+    /// Feeds a received coded packet into the node's batch state — a
+    /// zero-copy hand-off: coded stores bump the refcount on the frame's
+    /// flat buffer, tracker stores read the vector head in place. Returns
     /// `(innovative, rank_after)`.
     pub(crate) fn absorb(
         ns: &mut NodeFlowState,
-        vector: &CodeVector,
-        body: &[u8],
+        p: &CodedPacket,
         rng: &mut impl Rng,
     ) -> (bool, usize) {
         match &mut ns.batch {
             BatchState::Empty => unreachable!("batch state initialized before absorb"),
             BatchState::Tracker(t) | BatchState::DstTracker(t) => {
-                let innov = t.absorb(vector);
+                let innov = t.absorb(p.vector());
                 (innov, t.rank())
             }
             BatchState::Coded(b) => {
-                let p = CodedPacket {
-                    vector: vector.clone(),
-                    payload: bytes::Bytes::copy_from_slice(body),
-                };
-                let innov = b.receive(&p, rng);
+                let innov = b.receive(p, rng);
                 (innov, b.rank())
             }
             BatchState::DstDecoder(d) => {
-                let p = CodedPacket {
-                    vector: vector.clone(),
-                    payload: bytes::Bytes::copy_from_slice(body),
-                };
-                let innov = d.receive(&p);
+                let innov = d.receive(p);
                 (innov, d.rank())
             }
         }
@@ -187,7 +180,7 @@ impl MoreAgent {
         ns: &mut NodeFlowState,
         k: usize,
         rng: &mut impl Rng,
-    ) -> Option<(CodeVector, Vec<u8>)> {
+    ) -> Option<CodedPacket> {
         match &mut ns.batch {
             BatchState::Empty => None,
             BatchState::Tracker(t) => {
@@ -195,22 +188,38 @@ impl MoreAgent {
                     return None;
                 }
                 // One coefficient per stored row, drawn in row order (the
-                // RNG stream is part of determinism), then one batched
-                // combine over the code vectors.
-                let terms: Vec<(gf256::Gf256, &[u8])> = (0..k)
-                    .filter_map(|i| t.row(i))
-                    .map(|row| {
+                // RNG stream is part of determinism), combined straight
+                // into a pooled vector-only flat buffer.
+                let mut buf = pool::acquire(k);
+                rlnc::axpy_chunked(
+                    &mut buf,
+                    (0..k).filter_map(|i| t.row(i)).map(|row| {
                         let c = gf256::Gf256(rng.gen_range(1..=255u8));
-                        (c, row.as_bytes())
-                    })
-                    .collect();
-                let mut v = CodeVector::zero(k);
-                gf256::slice_ops::axpy_many(v.as_bytes_mut(), &terms);
-                Some((v, Vec::new()))
+                        (c, row)
+                    }),
+                );
+                Some(CodedPacket::from_flat(k, buf.freeze()))
             }
-            BatchState::Coded(b) => b.emit(rng).map(|p| (p.vector, p.payload.to_vec())),
+            BatchState::Coded(b) => b.emit(rng),
             // The destination never forwards data.
             BatchState::DstTracker(_) | BatchState::DstDecoder(_) => None,
+        }
+    }
+
+    /// Verifies a fully decoded batch against the deterministic test file
+    /// in place — no reference batch is materialized.
+    fn verify_decoded(d: &Decoder, flow: u32, batch: u32, k_b: usize) {
+        for i in 0..k_b {
+            let native = d.native(i).expect("rank K reached");
+            let seed = native_byte(flow, batch, i);
+            let ok = native
+                .iter()
+                .enumerate()
+                .all(|(b, &byte)| byte == seed.wrapping_add((b % 251) as u8));
+            assert!(
+                ok,
+                "decoded batch corrupt (flow {flow} batch {batch} native {i})"
+            );
         }
     }
 }
@@ -223,8 +232,7 @@ impl NodeAgent for MoreAgent {
             MorePayload::Data {
                 flow,
                 batch,
-                vector,
-                body,
+                packet,
                 sender_rank,
             } => {
                 let Some(fi) = self.flow_index(*flow) else {
@@ -258,14 +266,12 @@ impl NodeAgent for MoreAgent {
                     return; // the source only pumps; it stores nothing
                 }
                 Self::ensure_batch_state(&cfg, ns, is_dst, k_b);
-                let (innovative, rank_after) = Self::absorb(ns, vector, body, ctx.rng());
+                let (innovative, rank_after) = Self::absorb(ns, packet, ctx.rng());
                 if is_dst {
                     if innovative && rank_after == k_b {
                         // Full batch: ACK before decoding (§3.2.2).
                         if let BatchState::DstDecoder(d) = &ns.batch {
-                            let natives = d.natives().expect("rank K reached");
-                            let expect = batch_natives(*flow, *batch, k_b, cfg.packet_bytes);
-                            assert_eq!(natives, expect, "decoded batch corrupt");
+                            Self::verify_decoded(d, *flow, *batch, k_b);
                         }
                         ns.pending_acks.push_back(*batch);
                         ns.flush_to(*batch + 1);
@@ -388,15 +394,18 @@ impl NodeAgent for MoreAgent {
             if node == f.src {
                 let batch = f.src_batch;
                 let k_b = f.k_of(&cfg, batch);
-                let (vector, body) = if cfg.track_payloads {
+                let packet = if cfg.track_payloads {
                     if f.encoder.is_none() {
-                        let natives = batch_natives(f.id, batch, k_b, cfg.packet_bytes);
+                        let natives = crate::batch_natives(f.id, batch, k_b, cfg.packet_bytes);
                         f.encoder = Some(SourceEncoder::new(natives).expect("valid batch"));
                     }
-                    let p = f.encoder.as_ref().expect("just built").encode(ctx.rng());
-                    (p.vector, p.payload.to_vec())
+                    f.encoder.as_ref().expect("just built").encode(ctx.rng())
                 } else {
-                    (CodeVector::random(k_b, ctx.rng()), Vec::new())
+                    // Vector-only packet: random coefficients drawn into a
+                    // pooled flat buffer with an empty payload region.
+                    let mut buf = pool::acquire(k_b);
+                    ctx.rng().fill(&mut buf[..]);
+                    CodedPacket::from_flat(k_b, buf.freeze())
                 };
                 if f.dst_completed.is_some_and(|c| c >= batch) {
                     f.progress.spurious_tx += 1;
@@ -409,8 +418,7 @@ impl NodeAgent for MoreAgent {
                     payload: MorePayload::Data {
                         flow: f.id,
                         batch,
-                        vector,
-                        body,
+                        packet,
                         sender_rank: rank,
                     },
                 });
@@ -427,7 +435,7 @@ impl NodeAgent for MoreAgent {
             if f.nodes[node.0].credit <= 0.0 {
                 continue;
             }
-            let Some((vector, body)) = Self::emit_from(&mut f.nodes[node.0], k_b, ctx.rng()) else {
+            let Some(packet) = Self::emit_from(&mut f.nodes[node.0], k_b, ctx.rng()) else {
                 continue;
             };
             f.nodes[node.0].credit -= 1.0;
@@ -442,13 +450,21 @@ impl NodeAgent for MoreAgent {
                 payload: MorePayload::Data {
                     flow: f.id,
                     batch,
-                    vector,
-                    body,
+                    packet,
                     sender_rank: rank,
                 },
             });
         }
         None
+    }
+
+    fn recycle(&mut self, payload: MorePayload) {
+        // The simulator hands back the last reference to a delivered
+        // frame's payload; returning the flat buffer to the pool closes
+        // the zero-copy loop (next encode reuses it).
+        if let MorePayload::Data { packet, .. } = payload {
+            pool::release(packet.into_data());
+        }
     }
 }
 

@@ -176,7 +176,7 @@ mod test {
     fn batch_state_rank() {
         assert_eq!(BatchState::Empty.rank(), 0);
         let mut t = InnovationTracker::new(3);
-        t.absorb(&rlnc::CodeVector::unit(3, 1));
+        t.absorb(rlnc::CodeVector::unit(3, 1));
         assert_eq!(BatchState::Tracker(t).rank(), 1);
     }
 }

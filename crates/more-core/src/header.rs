@@ -16,7 +16,7 @@
 //! real system, §4.6c) and TX credits to 1/256-granularity fixed point.
 
 use mesh_topology::NodeId;
-use rlnc::CodeVector;
+use rlnc::CodedPacket;
 
 /// Packet type discriminator (Fig 3-1: "the packet type identifies batch
 /// ACKs from data packets").
@@ -31,10 +31,11 @@ pub enum MorePayload {
     Data {
         flow: u32,
         batch: u32,
-        /// The coefficients deriving this packet from the batch natives.
-        vector: CodeVector,
-        /// Coded payload bytes; empty when payload tracking is off.
-        body: Vec<u8>,
+        /// The coded packet: code vector and payload in one flat,
+        /// refcounted buffer, so cloning the frame for each simulated
+        /// receiver of a broadcast is O(1). The payload region is empty
+        /// when payload tracking is off.
+        packet: CodedPacket,
         /// Position of the sender in the flow's forwarder order (smaller =
         /// closer to the destination); receivers use it to decide whether
         /// the packet came "from upstream" for crediting.

@@ -21,7 +21,8 @@ use mesh_metrics::etx::LinkCost;
 use mesh_metrics::{EtxTable, ForwarderPlan};
 use mesh_sim::{Ctx, Frame, NodeAgent, OutFrame, Time, TxOutcome};
 use mesh_topology::{NodeId, Topology};
-use rlnc::{CodeVector, SourceEncoder};
+use rand::Rng;
+use rlnc::{pool, CodedPacket, SourceEncoder};
 
 /// Size of a batch-ACK frame on the air.
 const ACK_BYTES: usize = 30;
@@ -235,8 +236,7 @@ impl NodeAgent for MulticastMoreAgent {
             MorePayload::Data {
                 flow,
                 batch,
-                vector,
-                body,
+                packet,
                 sender_rank: _,
             } => {
                 let Some(fi) = self.flows.iter().position(|f| f.id == *flow) else {
@@ -265,7 +265,7 @@ impl NodeAgent for MulticastMoreAgent {
                     ns.flush_to(*batch);
                     crate::agent::MoreAgent::ensure_batch_state(&cfg, ns, true, k_b);
                     let (innovative, rank_after) =
-                        crate::agent::MoreAgent::absorb(ns, vector, body, ctx.rng());
+                        crate::agent::MoreAgent::absorb(ns, packet, ctx.rng());
                     if innovative && rank_after == k_b {
                         ns.pending_acks.push_back(*batch);
                         ns.flush_to(*batch + 1);
@@ -301,7 +301,7 @@ impl NodeAgent for MulticastMoreAgent {
                         ns.credit += f.credit_of[node.0];
                     }
                     crate::agent::MoreAgent::ensure_batch_state(&cfg, ns, false, k_b);
-                    let _ = crate::agent::MoreAgent::absorb(ns, vector, body, ctx.rng());
+                    let _ = crate::agent::MoreAgent::absorb(ns, packet, ctx.rng());
                     if ns.credit > 0.0 && ns.batch.rank() > 0 {
                         ctx.mark_backlogged(node);
                     }
@@ -423,17 +423,18 @@ impl NodeAgent for MulticastMoreAgent {
             if node == f.src {
                 let batch = f.src_batch;
                 let k_b = f.k_of(&cfg, batch);
-                let (vector, body) = if cfg.track_payloads {
+                let packet = if cfg.track_payloads {
                     if f.encoder.is_none() {
                         f.encoder = Some(
                             SourceEncoder::new(batch_natives(f.id, batch, k_b, cfg.packet_bytes))
                                 .expect("valid batch"),
                         );
                     }
-                    let p = f.encoder.as_ref().expect("built").encode(ctx.rng());
-                    (p.vector, p.payload.to_vec())
+                    f.encoder.as_ref().expect("built").encode(ctx.rng())
                 } else {
-                    (CodeVector::random(k_b, ctx.rng()), Vec::new())
+                    let mut buf = pool::acquire(k_b);
+                    ctx.rng().fill(&mut buf[..]);
+                    CodedPacket::from_flat(k_b, buf.freeze())
                 };
                 return Some(OutFrame {
                     dst: None,
@@ -442,8 +443,7 @@ impl NodeAgent for MulticastMoreAgent {
                     payload: MorePayload::Data {
                         flow: f.id,
                         batch,
-                        vector,
-                        body,
+                        packet,
                         sender_rank: u32::MAX, // source is upstream of all
                     },
                 });
@@ -458,7 +458,7 @@ impl NodeAgent for MulticastMoreAgent {
                 continue;
             }
             let k_b = f.k_of(&cfg, batch);
-            let Some((vector, body)) =
+            let Some(packet) =
                 crate::agent::MoreAgent::emit_from(&mut f.nodes[node.0], k_b, ctx.rng())
             else {
                 continue;
@@ -471,13 +471,18 @@ impl NodeAgent for MulticastMoreAgent {
                 payload: MorePayload::Data {
                     flow: f.id,
                     batch,
-                    vector,
-                    body,
+                    packet,
                     sender_rank: 1, // forwarders sit between src and dsts
                 },
             });
         }
         None
+    }
+
+    fn recycle(&mut self, payload: MorePayload) {
+        if let MorePayload::Data { packet, .. } = payload {
+            pool::release(packet.into_data());
+        }
     }
 }
 

@@ -13,10 +13,17 @@
 //! with a fresh random coefficient, so the prepared packet always reflects
 //! everything the node knows, and handing a packet to the driver never
 //! blocks on a K-way combine.
+//!
+//! Storage is zero-copy end to end: pooled packets share the flat
+//! `[coeffs | payload]` buffers that arrived off the air (a store is a
+//! refcount bump), the prepared packet lives in one pooled flat buffer that
+//! a single multiply-accumulate pass updates per arrival, and flushing a
+//! batch returns every buffer to [`crate::pool`].
 
-use crate::packet::{CodeVector, CodedPacket};
+use crate::packet::{axpy_chunked, CodedPacket};
+use crate::pool;
 use crate::tracker::InnovationTracker;
-use bytes::Bytes;
+use bytes::BytesMut;
 use gf256::{slice_ops, Gf256};
 use rand::Rng;
 
@@ -36,17 +43,18 @@ use rand::Rng;
 /// // The emitted packet spans everything the forwarder has heard.
 /// let p = fwd.emit(&mut rng).unwrap();
 /// assert_eq!(p.k(), 4);
-/// assert!(!p.vector.is_zero());
+/// assert!(!p.vector_is_zero());
 /// ```
 #[derive(Clone, Debug)]
 pub struct ForwarderBuffer {
     k: usize,
     payload_len: usize,
     tracker: InnovationTracker,
-    /// Original innovative packets, payloads untouched.
+    /// Original innovative packets, flat buffers shared, payloads untouched.
     pool: Vec<CodedPacket>,
-    /// The pre-coded packet kept ready for the next transmit opportunity.
-    precoded: Option<(CodeVector, Vec<u8>)>,
+    /// The pre-coded packet kept ready for the next transmit opportunity,
+    /// as one flat `[coeffs | payload]` buffer.
+    precoded: Option<BytesMut>,
 }
 
 impl ForwarderBuffer {
@@ -87,14 +95,15 @@ impl ForwarderBuffer {
 
     /// Non-destructive innovativeness check against the stored rank.
     pub fn is_innovative(&self, p: &CodedPacket) -> bool {
-        self.tracker.is_innovative(&p.vector)
+        self.tracker.is_innovative(p.vector())
     }
 
     /// Offers a received packet to the buffer.
     ///
-    /// Innovative packets are stored (and folded into the pre-coded packet
-    /// with a fresh random coefficient); non-innovative packets are
-    /// discarded. Returns `true` iff the packet was innovative.
+    /// Innovative packets are stored — a refcount bump on the shared flat
+    /// buffer, no payload copy — and folded into the pre-coded packet with
+    /// a fresh random coefficient; non-innovative packets are discarded.
+    /// Returns `true` iff the packet was innovative.
     ///
     /// # Panics
     ///
@@ -106,17 +115,17 @@ impl ForwarderBuffer {
             self.payload_len,
             "packet payload length mismatch"
         );
-        if !self.tracker.absorb(&p.vector) {
+        if !self.tracker.absorb(p.vector()) {
             return false;
         }
         self.pool.push(p.clone());
         // Keep the prepared packet fresh: "the pre-coded packet is updated
         // by multiplying the newly arrived packet with a random coefficient
-        // and adding it to the pre-coded packet."
-        if let Some((vec, payload)) = &mut self.precoded {
+        // and adding it to the pre-coded packet." Both sides are flat
+        // [coeffs | payload] buffers, so the fold is one fused pass.
+        if let Some(pre) = &mut self.precoded {
             let r = random_nonzero(rng);
-            vec.mul_add_assign(&p.vector, r);
-            slice_ops::mul_add_assign(payload, &p.payload, r);
+            slice_ops::mul_add_assign(pre, p.data(), r);
         } else {
             self.precode(rng);
         }
@@ -127,32 +136,25 @@ impl ForwarderBuffer {
     /// whole pool ("as soon as the transmission starts, a new packet is
     /// pre-coded for this flow and stored for future use").
     ///
-    /// The combine is two batched [`slice_ops::axpy_many`] passes — one
-    /// over the code vectors, one over the payloads — instead of one
-    /// multiply-accumulate pass per pooled packet.
+    /// The combine is one batched [`axpy_chunked`] pass over the pooled
+    /// flat buffers into a pooled flat destination; coefficients are drawn
+    /// lazily in pool order, preserving the RNG stream of a
+    /// packet-at-a-time fold.
     pub fn precode<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if let Some(old) = self.precoded.take() {
+            pool::release_mut(old);
+        }
         if self.pool.is_empty() {
-            self.precoded = None;
             return;
         }
-        // One coefficient per pooled packet, drawn in pool order (the RNG
-        // stream is part of the simulator's determinism contract).
-        let coeffs: Vec<Gf256> = self.pool.iter().map(|_| random_nonzero(rng)).collect();
-        let mut vec = CodeVector::zero(self.k);
-        let vec_terms: Vec<(Gf256, &[u8])> = coeffs
-            .iter()
-            .zip(&self.pool)
-            .map(|(&c, p)| (c, p.vector.as_bytes()))
-            .collect();
-        slice_ops::axpy_many(vec.as_bytes_mut(), &vec_terms);
-        let mut payload = vec![0u8; self.payload_len];
-        let payload_terms: Vec<(Gf256, &[u8])> = coeffs
-            .iter()
-            .zip(&self.pool)
-            .map(|(&c, p)| (c, &p.payload[..]))
-            .collect();
-        slice_ops::axpy_many(&mut payload, &payload_terms);
-        self.precoded = Some((vec, payload));
+        let mut buf = pool::acquire(self.k + self.payload_len);
+        axpy_chunked(
+            &mut buf,
+            self.pool
+                .iter()
+                .map(|p| (random_nonzero(rng), &p.data()[..])),
+        );
+        self.precoded = Some(buf);
     }
 
     /// Hands out the prepared packet and immediately pre-codes the next one.
@@ -163,12 +165,9 @@ impl ForwarderBuffer {
         if self.precoded.is_none() {
             self.precode(rng);
         }
-        let (vector, payload) = self.precoded.take()?;
+        let flat = self.precoded.take()?;
         self.precode(rng);
-        Some(CodedPacket {
-            vector,
-            payload: Bytes::from(payload),
-        })
+        Some(CodedPacket::from_flat(self.k, flat.freeze()))
     }
 
     /// Number of packets that would be combined to emit (pool size).
@@ -176,11 +175,22 @@ impl ForwarderBuffer {
         self.pool.len()
     }
 
-    /// Drops all state (batch flushed on ACK or a newer batch, §3.2.2).
+    /// Drops all state (batch flushed on ACK or a newer batch, §3.2.2),
+    /// returning every buffer this node is the last holder of to the pool.
     pub fn flush(&mut self) {
         self.tracker.reset();
-        self.pool.clear();
-        self.precoded = None;
+        for p in self.pool.drain(..) {
+            pool::release(p.into_data());
+        }
+        if let Some(pre) = self.precoded.take() {
+            pool::release_mut(pre);
+        }
+    }
+}
+
+impl Drop for ForwarderBuffer {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -239,8 +249,8 @@ mod test {
         // re-encode the vector straight from the natives and compare.
         for _ in 0..5 {
             let p = buf.emit(&mut rng).unwrap();
-            let reference = enc.encode_with(&p.vector);
-            assert_eq!(p.payload, reference.payload, "payload/vector mismatch");
+            let reference = enc.encode_with(p.vector());
+            assert_eq!(p.payload(), reference.payload(), "payload/vector mismatch");
         }
     }
 
@@ -255,7 +265,7 @@ mod test {
         let mut downstream = InnovationTracker::new(6);
         for _ in 0..64 {
             let p = buf.emit(&mut rng).unwrap();
-            downstream.absorb(&p.vector);
+            downstream.absorb(p.vector());
         }
         assert_eq!(downstream.rank(), 2);
     }
@@ -270,13 +280,13 @@ mod test {
         buf.receive(&enc.encode(&mut rng), &mut rng);
         let p = buf.emit(&mut rng).unwrap();
         let mut t = InnovationTracker::new(4);
-        t.absorb(&p.vector);
+        t.absorb(p.vector());
         // Emit more; with non-zero coefficients over GF(256) two packets
         // nearly surely yield rank 2 within a few tries.
         let mut got2 = false;
         for _ in 0..8 {
             let q = buf.emit(&mut rng).unwrap();
-            if t.absorb(&q.vector) {
+            if t.absorb(q.vector()) {
                 got2 = true;
                 break;
             }
@@ -303,6 +313,20 @@ mod test {
         assert!(buf.receive(&p, &mut rng));
         assert!(!buf.receive(&p, &mut rng));
         assert_eq!(buf.pool_len(), 1);
+    }
+
+    #[test]
+    fn stored_packets_share_the_arriving_buffer() {
+        let (enc, mut rng) = setup(2, 8, 8);
+        let mut buf = ForwarderBuffer::new(2, 8);
+        let p = enc.encode(&mut rng);
+        buf.receive(&p, &mut rng);
+        // The caller's copy and the pooled copy are the same allocation:
+        // releasing the caller's must NOT reclaim it for reuse.
+        crate::pool::release(p.into_data());
+        let q = buf.emit(&mut rng).unwrap();
+        let reference = enc.encode_with(q.vector());
+        assert_eq!(q.payload(), reference.payload());
     }
 
     #[test]

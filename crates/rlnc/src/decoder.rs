@@ -14,18 +14,20 @@
 //!
 //! Payload arithmetic is batched: the row operations of one `receive` are
 //! composed on the (cheap, K-byte) code-vector side first, then applied to
-//! the payload as a single fused [`slice_ops::axpy_many`] pass. Dependent
-//! packets are rejected from the vector reduction alone, without reading
-//! their payload bytes at all.
+//! the payload as a single fused [`axpy_chunked`] pass. Dependent packets
+//! are rejected from the vector reduction alone, without reading their
+//! payload bytes at all. Row storage — working vectors and decoded
+//! payloads alike — cycles through [`crate::pool`], so a steady-state
+//! destination decodes without touching the allocator.
 
-use crate::packet::{CodeVector, CodedPacket};
-use crate::CodingError;
+use crate::packet::{axpy_chunked, CodedPacket};
+use crate::{pool, CodingError};
 use gf256::{slice_ops, Gf256};
 
 /// One stored row: a normalized code vector and its matching payload.
 #[derive(Clone, Debug)]
 struct Row {
-    vector: CodeVector,
+    vector: Vec<u8>,
     payload: Vec<u8>,
 }
 
@@ -76,18 +78,24 @@ impl Decoder {
 
     /// Non-destructively checks whether `p` would be innovative.
     pub fn is_innovative(&self, p: &CodedPacket) -> bool {
-        let mut u = p.vector.clone();
+        let mut u = pool::acquire_vec(self.k);
+        u.copy_from_slice(p.vector());
+        let mut innovative = false;
         for i in 0..self.k {
-            let ui = u.coeff(i);
+            let ui = Gf256(u[i]);
             if ui.is_zero() {
                 continue;
             }
             match &self.rows[i] {
-                Some(row) => u.mul_add_assign(&row.vector, ui),
-                None => return true,
+                Some(row) => slice_ops::mul_add_assign(&mut u, &row.vector, ui),
+                None => {
+                    innovative = true;
+                    break;
+                }
             }
         }
-        false
+        pool::release_vec(u);
+        innovative
     }
 
     /// Absorbs a received packet; returns `true` iff it was innovative.
@@ -106,11 +114,12 @@ impl Decoder {
         // Forward-eliminate the code vector alone first: a dependent packet
         // is detected — and discarded — without touching a single payload
         // byte.
-        let orig = &p.vector;
-        let mut vec = p.vector.clone();
+        let orig = p.vector();
+        let mut vec = pool::acquire_vec(self.k);
+        vec.copy_from_slice(orig);
         let mut pivot = None;
         for i in 0..self.k {
-            let ui = vec.coeff(i);
+            let ui = Gf256(vec[i]);
             if ui.is_zero() {
                 continue;
             }
@@ -120,8 +129,8 @@ impl Decoder {
                     // column is zero in every other row), so reducing here
                     // never changes a coefficient this loop later reads at
                     // a stored pivot column.
-                    debug_assert_eq!(ui, orig.coeff(i), "stored rows not fully reduced");
-                    vec.mul_add_assign(&row.vector, ui);
+                    debug_assert_eq!(ui.0, orig[i], "stored rows not fully reduced");
+                    slice_ops::mul_add_assign(&mut vec, &row.vector, ui);
                 }
                 None => {
                     pivot = Some(i);
@@ -130,26 +139,27 @@ impl Decoder {
             }
         }
         let Some(pivot) = pivot else {
+            pool::release_vec(vec);
             return false; // dependent: discard
         };
 
         // Normalize the pivot to 1.
-        let lead = vec.coeff(pivot);
+        let lead = Gf256(vec[pivot]);
         debug_assert!(!lead.is_zero());
         let inv = lead.inv();
-        vec.mul_assign(inv);
-        debug_assert_eq!(vec.coeff(pivot), Gf256::ONE);
+        slice_ops::mul_assign(&mut vec, inv);
+        debug_assert_eq!(vec[pivot], Gf256::ONE.0);
 
         // Forward-reduce the remainder of the new row against existing rows
         // so it is fully reduced too.
         for i in (pivot + 1)..self.k {
-            let ci = vec.coeff(i);
+            let ci = Gf256(vec[i]);
             if ci.is_zero() {
                 continue;
             }
             if let Some(row) = &self.rows[i] {
-                debug_assert_eq!(ci, inv * orig.coeff(i), "stored rows not fully reduced");
-                vec.mul_add_assign(&row.vector, ci);
+                debug_assert_eq!(ci, inv * Gf256(orig[i]), "stored rows not fully reduced");
+                slice_ops::mul_add_assign(&mut vec, &row.vector, ci);
             }
         }
 
@@ -159,19 +169,18 @@ impl Decoder {
         // because every reduction coefficient above was read at a stored
         // pivot column, which the fully-reduced stored rows never alter
         // (the debug_asserts check exactly that).
-        let mut payload = vec![0u8; self.payload_len];
-        slice_ops::mul_into(&mut payload, &p.payload, inv);
-        let terms: Vec<(Gf256, &[u8])> = (0..self.k)
-            .filter(|&i| i != pivot)
-            .filter_map(|i| match &self.rows[i] {
-                Some(row) => {
-                    let c = inv * orig.coeff(i);
+        let mut payload = pool::acquire_vec(self.payload_len);
+        slice_ops::mul_into(&mut payload, p.payload(), inv);
+        let rows = &self.rows;
+        axpy_chunked(
+            &mut payload,
+            (0..self.k).filter(|&i| i != pivot).filter_map(|i| {
+                rows[i].as_ref().and_then(|row| {
+                    let c = inv * Gf256(orig[i]);
                     (!c.is_zero()).then_some((c, &row.payload[..]))
-                }
-                None => None,
-            })
-            .collect();
-        slice_ops::axpy_many(&mut payload, &terms);
+                })
+            }),
+        );
 
         // Back-eliminate the new pivot column from every stored row.
         for i in 0..self.k {
@@ -179,9 +188,9 @@ impl Decoder {
                 continue;
             }
             if let Some(row) = &mut self.rows[i] {
-                let c = row.vector.coeff(pivot);
+                let c = Gf256(row.vector[pivot]);
                 if !c.is_zero() {
-                    row.vector.mul_add_assign(&vec, c);
+                    slice_ops::mul_add_assign(&mut row.vector, &vec, c);
                     slice_ops::mul_add_assign(&mut row.payload, &payload, c);
                 }
             }
@@ -193,6 +202,15 @@ impl Decoder {
         });
         self.rank += 1;
         true
+    }
+
+    /// Decoded native packet `i`, readable in place once the batch is
+    /// complete (no per-packet copy, unlike [`Self::natives`]).
+    pub fn native(&self, i: usize) -> Option<&[u8]> {
+        if !self.is_complete() {
+            return None;
+        }
+        self.rows[i].as_ref().map(|r| &r.payload[..])
     }
 
     /// Returns the decoded native packets, consuming nothing; errors if the
@@ -217,26 +235,40 @@ impl Decoder {
     }
 
     /// Consumes the decoder, returning the native packets.
-    pub fn take_natives(self) -> Result<Vec<Vec<u8>>, CodingError> {
+    pub fn take_natives(mut self) -> Result<Vec<Vec<u8>>, CodingError> {
         if !self.is_complete() {
             return Err(CodingError::Incomplete {
                 rank: self.rank,
                 k: self.k,
             });
         }
-        Ok(self
-            .rows
+        let rows = std::mem::take(&mut self.rows);
+        self.rank = 0;
+        Ok(rows
             .into_iter()
-            .map(|r| r.expect("complete decoder has all rows").payload)
+            .map(|r| {
+                let row = r.expect("complete decoder has all rows");
+                pool::release_vec(row.vector);
+                row.payload
+            })
             .collect())
     }
 
-    /// Drops all state.
+    /// Drops all state, returning row storage to the buffer pool.
     pub fn reset(&mut self) {
         for r in &mut self.rows {
-            *r = None;
+            if let Some(row) = r.take() {
+                pool::release_vec(row.vector);
+                pool::release_vec(row.payload);
+            }
         }
         self.rank = 0;
+    }
+}
+
+impl Drop for Decoder {
+    fn drop(&mut self) {
+        self.reset();
     }
 }
 
@@ -276,9 +308,23 @@ mod test {
         let enc = SourceEncoder::new(data.clone()).unwrap();
         let mut dec = Decoder::new(4, 10);
         for i in [2usize, 0, 3, 1] {
-            assert!(dec.receive(&enc.encode_with(&CodeVector::unit(4, i))));
+            assert!(dec.receive(&enc.encode_with(CodeVector::unit(4, i))));
         }
         assert_eq!(dec.natives().unwrap(), data);
+        // In-place access agrees with the copying accessor.
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(dec.native(i).unwrap(), &d[..]);
+        }
+    }
+
+    #[test]
+    fn native_is_none_until_complete() {
+        let data = natives(3, 8);
+        let enc = SourceEncoder::new(data).unwrap();
+        let mut dec = Decoder::new(3, 8);
+        assert!(dec.native(0).is_none());
+        dec.receive(&enc.encode_with(CodeVector::unit(3, 0)));
+        assert!(dec.native(0).is_none(), "partial batch must not decode");
     }
 
     #[test]
@@ -352,11 +398,11 @@ mod test {
         let data = natives(2, 4);
         let enc = SourceEncoder::new(data.clone()).unwrap();
         let mut dec = Decoder::new(2, 4);
-        dec.receive(&enc.encode_with(&CodeVector::unit(2, 0)));
+        dec.receive(&enc.encode_with(CodeVector::unit(2, 0)));
         dec.reset();
         assert_eq!(dec.rank(), 0);
-        dec.receive(&enc.encode_with(&CodeVector::unit(2, 0)));
-        dec.receive(&enc.encode_with(&CodeVector::unit(2, 1)));
+        dec.receive(&enc.encode_with(CodeVector::unit(2, 0)));
+        dec.receive(&enc.encode_with(CodeVector::unit(2, 1)));
         assert_eq!(dec.take_natives().unwrap(), data);
     }
 

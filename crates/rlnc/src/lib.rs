@@ -18,6 +18,11 @@
 //! * [`Decoder`] — the destination's incremental reduced-row-echelon decode;
 //!   rank K triggers back-substitution and yields the native batch.
 //!
+//! Every coded packet is one flat, immutable `[coeffs | payload]` buffer
+//! ([`CodedPacket`]): cloning a packet — e.g. for each receiver of a
+//! simulated broadcast — is a refcount bump, and retired buffers recycle
+//! through a thread-local [`pool`] instead of the allocator.
+//!
 //! ```
 //! use more_rlnc::{SourceEncoder, Decoder};
 //! use rand::SeedableRng;
@@ -39,11 +44,12 @@
 pub mod buffer;
 pub mod decoder;
 pub mod packet;
+pub mod pool;
 pub mod tracker;
 
 pub use buffer::ForwarderBuffer;
 pub use decoder::Decoder;
-pub use packet::{CodeVector, CodedPacket, SourceEncoder};
+pub use packet::{axpy_chunked, CodeVector, CodedPacket, SourceEncoder};
 pub use tracker::InnovationTracker;
 
 /// Errors reported by coding components.

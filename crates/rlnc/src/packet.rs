@@ -1,6 +1,6 @@
-//! Code vectors, coded packets, and the source-side encoder.
+//! Code vectors, flat coded packets, and the source-side encoder.
 
-use crate::CodingError;
+use crate::{pool, CodingError};
 use bytes::Bytes;
 use gf256::{slice_ops, Gf256};
 use rand::Rng;
@@ -9,6 +9,11 @@ use rand::Rng;
 ///
 /// For `p' = Σ cᵢ pᵢ` the code vector is `(c₁, …, c_K)` (thesis Table 3.1).
 /// Stored as raw bytes; each byte is a GF(2⁸) element.
+///
+/// Packets on the wire no longer carry a `CodeVector` — their coefficients
+/// live in the flat `[coeffs | payload]` buffer of [`CodedPacket`] — but the
+/// type remains the convenient owned representation for building vectors
+/// (unit/random/arithmetic) and for rank bookkeeping in tests.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct CodeVector(Vec<u8>);
 
@@ -90,6 +95,12 @@ impl CodeVector {
     }
 }
 
+impl AsRef<[u8]> for CodeVector {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
 impl core::fmt::Debug for CodeVector {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "CodeVector[")?;
@@ -103,29 +114,119 @@ impl core::fmt::Debug for CodeVector {
     }
 }
 
-/// A coded packet: payload bytes plus the code vector describing them.
+/// `dst += Σ cᵢ·srcᵢ` over an arbitrary term iterator, batched through
+/// [`slice_ops::axpy_many`] in stack-resident chunks.
 ///
-/// Payloads are [`Bytes`], so cloning a packet for every simulated receiver
-/// of a broadcast is O(1).
+/// Unlike collecting terms into a `Vec` first, this takes the terms lazily
+/// — callers whose coefficients come from an RNG stream draw them in
+/// iterator order, exactly as a term-at-a-time loop would — and allocates
+/// nothing. GF(2⁸) addition is XOR (exact, associative), so chunked
+/// accumulation is byte-identical to a single fused pass.
+pub fn axpy_chunked<'a, I>(dst: &mut [u8], terms: I)
+where
+    I: IntoIterator<Item = (Gf256, &'a [u8])>,
+{
+    const CHUNK: usize = 16;
+    let mut buf: [(Gf256, &[u8]); CHUNK] = [(Gf256(0), &[]); CHUNK];
+    let mut n = 0;
+    for term in terms {
+        buf[n] = term;
+        n += 1;
+        if n == CHUNK {
+            slice_ops::axpy_many(dst, &buf);
+            n = 0;
+        }
+    }
+    if n > 0 {
+        slice_ops::axpy_many(dst, &buf[..n]);
+    }
+}
+
+/// A coded packet: one flat, immutable, refcounted buffer laid out as
+/// `[c₁ … c_K | payload]`.
+///
+/// The single-buffer layout means building a packet costs one (pooled)
+/// allocation, cloning it for every simulated receiver of a broadcast is a
+/// refcount bump, and forwarder pre-coding folds a whole packet in with one
+/// multiply-accumulate pass over the flat buffer. Buffers are drawn from
+/// and returned to [`crate::pool`].
 #[derive(Clone, Debug)]
 pub struct CodedPacket {
-    /// How to derive this payload from the batch natives.
-    pub vector: CodeVector,
-    /// The coded payload, `Σ cᵢ pᵢ` byte-wise over GF(2⁸).
-    pub payload: Bytes,
+    /// Batch size K — the split point between coefficients and payload.
+    k: usize,
+    /// The flat `[coeffs | payload]` buffer.
+    data: Bytes,
 }
 
 impl CodedPacket {
+    /// Assembles a packet by copying a code vector and payload into one
+    /// fresh flat buffer.
+    pub fn from_parts(vector: &[u8], payload: &[u8]) -> Self {
+        let k = vector.len();
+        let mut buf = pool::acquire(k + payload.len());
+        buf[..k].copy_from_slice(vector);
+        buf[k..].copy_from_slice(payload);
+        CodedPacket {
+            k,
+            data: buf.freeze(),
+        }
+    }
+
+    /// Wraps an already-flat `[coeffs | payload]` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is shorter than `k` coefficients.
+    pub fn from_flat(k: usize, data: Bytes) -> Self {
+        assert!(data.len() >= k, "flat buffer shorter than its code vector");
+        CodedPacket { k, data }
+    }
+
     /// Batch size K.
     #[inline]
     pub fn k(&self) -> usize {
-        self.vector.len()
+        self.k
     }
 
     /// Payload size in bytes.
     #[inline]
     pub fn payload_len(&self) -> usize {
-        self.payload.len()
+        self.data.len() - self.k
+    }
+
+    /// The code vector coefficients (first K bytes of the flat buffer).
+    #[inline]
+    pub fn vector(&self) -> &[u8] {
+        &self.data[..self.k]
+    }
+
+    /// The coded payload, `Σ cᵢ pᵢ` byte-wise over GF(2⁸).
+    #[inline]
+    pub fn payload(&self) -> &[u8] {
+        &self.data[self.k..]
+    }
+
+    /// Coefficient `i` of the code vector.
+    #[inline]
+    pub fn coeff(&self, i: usize) -> Gf256 {
+        Gf256(self.data[i])
+    }
+
+    /// True if every coefficient is zero (the packet carries nothing).
+    pub fn vector_is_zero(&self) -> bool {
+        self.vector().iter().all(|&b| b == 0)
+    }
+
+    /// The whole flat `[coeffs | payload]` buffer.
+    #[inline]
+    pub fn data(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// Consumes the packet, returning the flat buffer (e.g. to hand it back
+    /// to the [`crate::pool`]).
+    pub fn into_data(self) -> Bytes {
+        self.data
     }
 }
 
@@ -180,13 +281,22 @@ impl SourceEncoder {
 
     /// Emits one coded packet with fresh random coefficients.
     ///
-    /// Cost is one batched [`slice_ops::axpy_many`] pass folding all K
+    /// The random coefficients are drawn straight into the head of one
+    /// pooled flat buffer and the payload combine writes its tail — the
+    /// whole packet is a single allocation (amortized zero once the pool
+    /// is warm). Cost is one batched [`axpy_chunked`] pass folding all K
     /// natives into the payload — the most expensive coding operation in
     /// the system (Table 4.1: "the coding cost is highest at the source
     /// because it has to code all K packets together").
     pub fn encode<R: Rng + ?Sized>(&self, rng: &mut R) -> CodedPacket {
-        let vector = CodeVector::random(self.k(), rng);
-        self.encode_with(&vector)
+        let k = self.k();
+        let mut buf = pool::acquire(k + self.payload_len);
+        rng.fill(&mut buf[..k]);
+        self.combine_into(&mut buf);
+        CodedPacket {
+            k,
+            data: buf.freeze(),
+        }
     }
 
     /// Emits the coded packet for a caller-chosen code vector.
@@ -194,20 +304,31 @@ impl SourceEncoder {
     /// # Panics
     ///
     /// Panics if the vector length differs from the batch size K.
-    pub fn encode_with(&self, vector: &CodeVector) -> CodedPacket {
-        assert_eq!(vector.len(), self.k(), "vector length != K");
-        let mut payload = vec![0u8; self.payload_len];
-        let terms: Vec<(Gf256, &[u8])> = self
-            .natives
-            .iter()
-            .enumerate()
-            .map(|(i, native)| (vector.coeff(i), &native[..]))
-            .collect();
-        slice_ops::axpy_many(&mut payload, &terms);
+    pub fn encode_with(&self, vector: impl AsRef<[u8]>) -> CodedPacket {
+        let vector = vector.as_ref();
+        let k = self.k();
+        assert_eq!(vector.len(), k, "vector length != K");
+        let mut buf = pool::acquire(k + self.payload_len);
+        buf[..k].copy_from_slice(vector);
+        self.combine_into(&mut buf);
         CodedPacket {
-            vector: vector.clone(),
-            payload: Bytes::from(payload),
+            k,
+            data: buf.freeze(),
         }
+    }
+
+    /// Fills the payload tail of a flat buffer whose head already holds the
+    /// code vector.
+    fn combine_into(&self, buf: &mut [u8]) {
+        let (vector, payload) = buf.split_at_mut(self.k());
+        let vector = &*vector;
+        axpy_chunked(
+            payload,
+            self.natives
+                .iter()
+                .enumerate()
+                .map(|(i, native)| (Gf256(vector[i]), &native[..])),
+        );
     }
 }
 
@@ -250,6 +371,46 @@ mod test {
     }
 
     #[test]
+    fn axpy_chunked_matches_axpy_many_across_chunk_boundaries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for n in [0usize, 1, 15, 16, 17, 33] {
+            let srcs: Vec<Vec<u8>> = (0..n)
+                .map(|_| {
+                    let mut s = vec![0u8; 24];
+                    rng.fill(&mut s[..]);
+                    s
+                })
+                .collect();
+            let coeffs: Vec<Gf256> = (0..n).map(|_| Gf256(rng.gen_range(1..=255u8))).collect();
+            let terms: Vec<(Gf256, &[u8])> = coeffs
+                .iter()
+                .zip(&srcs)
+                .map(|(&c, s)| (c, &s[..]))
+                .collect();
+            let mut want = vec![0u8; 24];
+            slice_ops::axpy_many(&mut want, &terms);
+            let mut got = vec![0u8; 24];
+            axpy_chunked(&mut got, terms.iter().copied());
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn flat_packet_slices_line_up() {
+        let p = CodedPacket::from_parts(&[1, 2, 3], &[9, 8, 7, 6]);
+        assert_eq!(p.k(), 3);
+        assert_eq!(p.payload_len(), 4);
+        assert_eq!(p.vector(), &[1, 2, 3]);
+        assert_eq!(p.payload(), &[9, 8, 7, 6]);
+        assert_eq!(p.coeff(1), Gf256(2));
+        assert!(!p.vector_is_zero());
+        assert_eq!(&p.data()[..], &[1, 2, 3, 9, 8, 7, 6]);
+        // Clone shares the flat buffer instead of copying it.
+        let q = p.clone();
+        assert_eq!(q.into_data(), p.into_data());
+    }
+
+    #[test]
     fn encoder_rejects_bad_batches() {
         assert!(matches!(
             SourceEncoder::new(Vec::<Vec<u8>>::new()),
@@ -271,8 +432,8 @@ mod test {
         let natives = vec![vec![1u8, 2, 3], vec![4u8, 5, 6]];
         let enc = SourceEncoder::new(natives.clone()).unwrap();
         for i in 0..2 {
-            let p = enc.encode_with(&CodeVector::unit(2, i));
-            assert_eq!(&p.payload[..], &natives[i][..]);
+            let p = enc.encode_with(CodeVector::unit(2, i));
+            assert_eq!(p.payload(), &natives[i][..]);
         }
     }
 
@@ -290,12 +451,12 @@ mod test {
         let pb = enc.encode_with(&vb);
         let psum = enc.encode_with(&vsum);
         let xor: Vec<u8> = pa
-            .payload
+            .payload()
             .iter()
-            .zip(pb.payload.iter())
+            .zip(pb.payload().iter())
             .map(|(a, b)| a ^ b)
             .collect();
-        assert_eq!(&psum.payload[..], &xor[..]);
+        assert_eq!(psum.payload(), &xor[..]);
     }
 
     #[test]
@@ -305,6 +466,17 @@ mod test {
         let p = enc.encode(&mut rng);
         assert_eq!(p.k(), 5);
         assert_eq!(p.payload_len(), 100);
+    }
+
+    #[test]
+    fn encode_draws_the_same_coefficients_as_code_vector_random() {
+        // The flat path fills its coefficient head with the exact bytes
+        // `CodeVector::random` would draw — the determinism contract that
+        // keeps pre-rewrite golden runs byte-identical.
+        let enc = SourceEncoder::new(vec![vec![5u8; 16]; 4]).unwrap();
+        let p = enc.encode(&mut ChaCha8Rng::seed_from_u64(77));
+        let v = CodeVector::random(4, &mut ChaCha8Rng::seed_from_u64(77));
+        assert_eq!(p.vector(), v.as_bytes());
     }
 
     #[test]

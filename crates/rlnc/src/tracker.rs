@@ -7,17 +7,20 @@
 //!
 //! The tracker operates on code vectors only — payloads are never touched —
 //! which is why checking innovativeness "is fairly cheap" compared to coding
-//! or decoding (Table 4.1).
+//! or decoding (Table 4.1). Vectors come in as plain byte slices (packets
+//! store their coefficients in a flat buffer; see [`crate::CodedPacket`]),
+//! and the stored rows are recycled through [`crate::pool`] so steady-state
+//! rank tracking touches the allocator only while a batch is growing.
 
-use crate::packet::CodeVector;
-use gf256::Gf256;
+use crate::pool;
+use gf256::{slice_ops, Gf256};
 
 /// Incremental rank tracker over code vectors (Algorithm 2).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct InnovationTracker {
     /// `rows[i]` holds a vector whose leading non-zero index is `i`,
     /// normalized so that coefficient `i` equals 1.
-    rows: Vec<Option<CodeVector>>,
+    rows: Vec<Option<Vec<u8>>>,
     rank: usize,
 }
 
@@ -25,7 +28,7 @@ impl InnovationTracker {
     /// An empty tracker for batch size `k`.
     pub fn new(k: usize) -> Self {
         InnovationTracker {
-            rows: vec![None; k],
+            rows: (0..k).map(|_| None).collect(),
             rank: 0,
         }
     }
@@ -49,20 +52,14 @@ impl InnovationTracker {
     }
 
     /// Would `v` be innovative? Non-destructive version of [`Self::absorb`].
-    pub fn is_innovative(&self, v: &CodeVector) -> bool {
+    pub fn is_innovative(&self, v: impl AsRef<[u8]>) -> bool {
+        let v = v.as_ref();
         assert_eq!(v.len(), self.k(), "vector length != K");
-        let mut u = v.clone();
-        for i in 0..self.k() {
-            let ui = u.coeff(i);
-            if ui.is_zero() {
-                continue;
-            }
-            match &self.rows[i] {
-                Some(row) => u.mul_add_assign(row, ui), // u -= row * u[i]
-                None => return true,
-            }
-        }
-        false
+        let mut u = pool::acquire_vec(v.len());
+        u.copy_from_slice(v);
+        let innovative = self.reduce(&mut u).is_some();
+        pool::release_vec(u);
+        innovative
     }
 
     /// Algorithm 2: reduce `v` against the stored rows; if a pivot remains,
@@ -70,44 +67,75 @@ impl InnovationTracker {
     ///
     /// Returns `false` — "discard packet" — when `v` is a linear combination
     /// of what the node already holds.
-    pub fn absorb(&mut self, v: &CodeVector) -> bool {
+    pub fn absorb(&mut self, v: impl AsRef<[u8]>) -> bool {
+        let v = v.as_ref();
         assert_eq!(v.len(), self.k(), "vector length != K");
-        let mut u = v.clone();
+        let mut u = pool::acquire_vec(v.len());
+        u.copy_from_slice(v);
+        match self.reduce(&mut u) {
+            Some(i) => {
+                // Admit the modified vector into the empty slot,
+                // normalized: M[i] ← u / u[i].
+                let ui = Gf256(u[i]);
+                slice_ops::mul_assign(&mut u, ui.inv());
+                debug_assert_eq!(u[i], Gf256::ONE.0);
+                self.rows[i] = Some(u);
+                self.rank += 1;
+                true
+            }
+            None => {
+                pool::release_vec(u);
+                false
+            }
+        }
+    }
+
+    /// Forward-reduces `u` in place against the stored rows; returns the
+    /// pivot slot `u` would fill, or `None` when `u` is dependent.
+    fn reduce(&self, u: &mut [u8]) -> Option<usize> {
         for i in 0..self.k() {
-            let ui = u.coeff(i);
+            let ui = Gf256(u[i]);
             if ui.is_zero() {
                 continue;
             }
             match &self.rows[i] {
-                Some(row) => {
-                    // u ← u − M[i]·u[i]  (subtraction == addition in GF(2⁸))
-                    u.mul_add_assign(row, ui);
-                }
-                None => {
-                    // Admit the modified vector into the empty slot,
-                    // normalized: M[i] ← u / u[i].
-                    u.mul_assign(ui.inv());
-                    debug_assert_eq!(u.coeff(i), Gf256::ONE);
-                    self.rows[i] = Some(u);
-                    self.rank += 1;
-                    return true;
-                }
+                // u ← u − M[i]·u[i]  (subtraction == addition in GF(2⁸))
+                Some(row) => slice_ops::mul_add_assign(u, row, ui),
+                None => return Some(i),
             }
         }
-        false
+        None
     }
 
     /// The stored echelon row with pivot `i`, if present.
-    pub fn row(&self, i: usize) -> Option<&CodeVector> {
-        self.rows[i].as_ref()
+    pub fn row(&self, i: usize) -> Option<&[u8]> {
+        self.rows[i].as_deref()
     }
 
-    /// Clears all state (e.g. when a batch is flushed).
+    /// Clears all state (e.g. when a batch is flushed), returning the row
+    /// storage to the buffer pool.
     pub fn reset(&mut self) {
         for r in &mut self.rows {
-            *r = None;
+            if let Some(row) = r.take() {
+                pool::release_vec(row);
+            }
         }
         self.rank = 0;
+    }
+}
+
+impl Clone for InnovationTracker {
+    fn clone(&self) -> Self {
+        InnovationTracker {
+            rows: self.rows.clone(),
+            rank: self.rank,
+        }
+    }
+}
+
+impl Drop for InnovationTracker {
+    fn drop(&mut self) {
+        self.reset();
     }
 }
 
@@ -125,8 +153,8 @@ mod test {
     #[test]
     fn zero_vector_is_never_innovative() {
         let mut t = InnovationTracker::new(4);
-        assert!(!t.is_innovative(&v(&[0, 0, 0, 0])));
-        assert!(!t.absorb(&v(&[0, 0, 0, 0])));
+        assert!(!t.is_innovative(v(&[0, 0, 0, 0])));
+        assert!(!t.absorb(v(&[0, 0, 0, 0])));
         assert_eq!(t.rank(), 0);
     }
 
@@ -134,14 +162,14 @@ mod test {
     fn unit_vectors_fill_the_tracker() {
         let mut t = InnovationTracker::new(3);
         for i in 0..3 {
-            assert!(t.absorb(&CodeVector::unit(3, i)));
+            assert!(t.absorb(CodeVector::unit(3, i)));
         }
         assert!(t.is_full());
         assert_eq!(t.rank(), 3);
         // Anything further is dependent.
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         for _ in 0..10 {
-            assert!(!t.absorb(&CodeVector::random(3, &mut rng)));
+            assert!(!t.absorb(CodeVector::random(3, &mut rng)));
         }
     }
 
@@ -158,7 +186,7 @@ mod test {
     #[test]
     fn scaled_copy_is_not_innovative() {
         let mut t = InnovationTracker::new(4);
-        assert!(t.absorb(&v(&[1, 2, 3, 4])));
+        assert!(t.absorb(v(&[1, 2, 3, 4])));
         let mut scaled = v(&[1, 2, 3, 4]);
         scaled.mul_assign(gf256::Gf256(7));
         assert!(!t.absorb(&scaled));
@@ -196,20 +224,20 @@ mod test {
     #[test]
     fn pivots_are_normalized() {
         let mut t = InnovationTracker::new(3);
-        t.absorb(&v(&[9, 1, 2]));
+        t.absorb(v(&[9, 1, 2]));
         let row = t.row(0).unwrap();
-        assert_eq!(row.coeff(0), Gf256::ONE);
+        assert_eq!(row[0], Gf256::ONE.0);
     }
 
     #[test]
     fn reset_empties() {
         let mut t = InnovationTracker::new(2);
-        t.absorb(&v(&[1, 0]));
-        t.absorb(&v(&[0, 1]));
+        t.absorb(v(&[1, 0]));
+        t.absorb(v(&[0, 1]));
         assert!(t.is_full());
         t.reset();
         assert_eq!(t.rank(), 0);
-        assert!(t.absorb(&v(&[1, 0])));
+        assert!(t.absorb(v(&[1, 0])));
     }
 
     #[test]
@@ -218,11 +246,19 @@ mod test {
         let mut t = InnovationTracker::new(4);
         let mut innovative = 0;
         for _ in 0..100 {
-            if t.absorb(&CodeVector::random(4, &mut rng)) {
+            if t.absorb(CodeVector::random(4, &mut rng)) {
                 innovative += 1;
             }
         }
         assert_eq!(innovative, 4);
         assert_eq!(t.rank(), 4);
+    }
+
+    #[test]
+    fn absorb_accepts_raw_slices() {
+        let mut t = InnovationTracker::new(3);
+        assert!(t.absorb([1u8, 2, 3]));
+        assert!(!t.is_innovative([1u8, 2, 3]));
+        assert_eq!(t.row(0).unwrap().len(), 3);
     }
 }

@@ -116,7 +116,7 @@ proptest! {
         let mut down = InnovationTracker::new(k);
         for _ in 0..32 {
             if let Some(p) = fwd.emit(&mut rng) {
-                down.absorb(&p.vector);
+                down.absorb(p.vector());
             }
         }
         prop_assert!(down.rank() <= upstream_rank);
@@ -135,8 +135,8 @@ proptest! {
         }
         for _ in 0..8 {
             let p = fwd.emit(&mut rng).unwrap();
-            let reference = enc.encode_with(&p.vector);
-            prop_assert_eq!(&p.payload[..], &reference.payload[..]);
+            let reference = enc.encode_with(p.vector());
+            prop_assert_eq!(p.payload(), reference.payload());
         }
     }
 }

@@ -28,7 +28,7 @@ fn main() {
     let enc = SourceEncoder::new(natives.clone()).unwrap();
 
     // The broadcast: destination happened to catch only p2.
-    let dst_heard = enc.encode_with(&CodeVector::unit(2, 1));
+    let dst_heard = enc.encode_with(CodeVector::unit(2, 1));
     let mut dst = Decoder::new(2, len);
     dst.receive(&dst_heard);
     println!("destination rank after overhearing p2: {}/2", dst.rank());
@@ -38,7 +38,7 @@ fn main() {
     let relay_packet: CodedPacket = enc.encode(&mut rng);
     println!(
         "relay broadcasts one coded packet with vector {:?}",
-        relay_packet.vector
+        relay_packet.vector()
     );
 
     // That single packet completes the transfer regardless of which

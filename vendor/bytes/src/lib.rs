@@ -1,28 +1,55 @@
-//! Vendored stub of the `bytes` crate: just [`Bytes`], a cheaply
-//! clonable, immutable, shared byte buffer (reference-counted slice).
+//! Vendored stub of the `bytes` crate: [`Bytes`], a cheaply clonable,
+//! immutable, shared byte buffer, and [`BytesMut`], its uniquely owned
+//! mutable counterpart.
+//!
+//! The pair mirrors the real crate's ownership protocol: a buffer is
+//! built in a [`BytesMut`] (exclusive, resizable), [frozen](BytesMut::freeze)
+//! into an immutable [`Bytes`] that any number of holders share by
+//! refcount bump, and — once every clone is dropped — reclaimed via
+//! [`Bytes::try_into_mut`] without reallocating. That last step is what
+//! lets a buffer pool recycle packet buffers across simulator frames:
+//! `try_into_mut` succeeds only when the caller holds the *sole*
+//! reference, so a recycled buffer can never alias a live packet.
 
 use std::fmt;
-use std::ops::Deref;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
+/// An immutable, reference-counted byte buffer. `Clone` is a refcount
+/// bump; the bytes are shared, never copied.
 #[derive(Clone, Default, PartialEq, Eq, Hash)]
-pub struct Bytes(Arc<[u8]>);
+pub struct Bytes(Arc<Vec<u8>>);
 
 impl Bytes {
+    /// An empty buffer (allocates a refcount block, not byte storage).
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes(Arc::new(Vec::new()))
     }
 
+    /// Copies `data` into a fresh shared buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes(Arc::new(data.to_vec()))
     }
 
+    /// Length in bytes.
     pub fn len(&self) -> usize {
         self.0.len()
     }
 
+    /// `true` when the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
+    }
+
+    /// Reclaims the buffer for mutation **iff** this is the only
+    /// reference, preserving both the refcount block and the byte
+    /// storage; otherwise returns the untouched `Bytes` as the error.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        if Arc::strong_count(&self.0) == 1 {
+            Ok(BytesMut(self.0))
+        } else {
+            Err(self)
+        }
     }
 }
 
@@ -41,7 +68,7 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        Bytes(Arc::new(v))
     }
 }
 
@@ -57,19 +84,160 @@ impl<const N: usize> From<&[u8; N]> for Bytes {
     }
 }
 
+impl From<BytesMut> for Bytes {
+    fn from(m: BytesMut) -> Self {
+        m.freeze()
+    }
+}
+
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "b\"")?;
-        for &b in self.0.iter().take(32) {
-            if b.is_ascii_graphic() || b == b' ' {
-                write!(f, "{}", b as char)?;
-            } else {
-                write!(f, "\\x{b:02x}")?;
-            }
+        debug_bytes(&self.0, f)
+    }
+}
+
+/// A uniquely owned, mutable byte buffer that [freezes](Self::freeze)
+/// into a [`Bytes`] without copying.
+///
+/// Invariant: the inner refcount is always exactly 1 — every constructor
+/// starts from a fresh or sole-referenced block, and freezing consumes
+/// `self` — so mutable access can never observe a shared buffer.
+#[derive(Default)]
+pub struct BytesMut(Arc<Vec<u8>>);
+
+impl BytesMut {
+    /// An empty mutable buffer.
+    pub fn new() -> Self {
+        BytesMut(Arc::new(Vec::new()))
+    }
+
+    /// An empty mutable buffer with `cap` bytes of storage pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Arc::new(Vec::with_capacity(cap)))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Capacity of the underlying storage, in bytes.
+    pub fn capacity(&self) -> usize {
+        self.0.capacity()
+    }
+
+    /// Drops the contents, keeping the storage.
+    pub fn clear(&mut self) {
+        self.vec_mut().clear();
+    }
+
+    /// Resizes to `len` bytes, filling new space with `fill`.
+    pub fn resize(&mut self, len: usize, fill: u8) {
+        self.vec_mut().resize(len, fill);
+    }
+
+    /// Appends `data` to the buffer.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.vec_mut().extend_from_slice(data);
+    }
+
+    /// Freezes into an immutable shared [`Bytes`] — a move, not a copy.
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    fn vec_mut(&mut self) -> &mut Vec<u8> {
+        // The uniqueness invariant makes get_mut infallible.
+        Arc::get_mut(&mut self.0).expect("BytesMut invariant: refcount 1")
+    }
+}
+
+impl Clone for BytesMut {
+    /// Deep copy: a `BytesMut` is uniquely owned, so cloning must produce
+    /// an independent buffer (a refcount bump would break the invariant).
+    fn clone(&self) -> Self {
+        BytesMut(Arc::new(self.0.as_ref().clone()))
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.vec_mut()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        self.vec_mut()
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        debug_bytes(&self.0, f)
+    }
+}
+
+fn debug_bytes(bytes: &[u8], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "b\"")?;
+    for &b in bytes.iter().take(32) {
+        if b.is_ascii_graphic() || b == b' ' {
+            write!(f, "{}", b as char)?;
+        } else {
+            write!(f, "\\x{b:02x}")?;
         }
-        if self.0.len() > 32 {
-            write!(f, "…({} bytes)", self.0.len())?;
-        }
-        write!(f, "\"")
+    }
+    if bytes.len() > 32 {
+        write!(f, "…({} bytes)", bytes.len())?;
+    }
+    write!(f, "\"")
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    #[test]
+    fn freeze_and_reclaim_round_trip() {
+        let mut m = BytesMut::with_capacity(64);
+        m.extend_from_slice(b"hello");
+        let cap = m.capacity();
+        let b = m.freeze();
+        assert_eq!(&b[..], b"hello");
+        let clone = b.clone();
+        // Shared: reclaim must refuse.
+        let b = b.try_into_mut().expect_err("shared buffer reclaimed");
+        drop(clone);
+        // Sole owner again: reclaim succeeds and keeps the storage.
+        let mut m = b.try_into_mut().expect("unique buffer refused");
+        assert_eq!(m.capacity(), cap);
+        m.clear();
+        m.resize(3, 7);
+        assert_eq!(&m[..], &[7, 7, 7]);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::copy_from_slice(b"abc");
+        let b = Bytes::from(b"abc".to_vec());
+        assert_eq!(a, b);
     }
 }
