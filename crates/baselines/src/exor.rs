@@ -21,6 +21,8 @@
 //! ExOR flow cannot exploit spatial reuse — the structural cost MORE
 //! removes (§4.2.3).
 
+// xtask: allow(panic_path, file) -- ExOR per-flow state (batch maps, forwarder lists, per-node queues) is sized to the participant set fixed at flow setup; node and sequence indices are checked against that set on receive before any indexed access.
+
 use bytes::Bytes;
 use mesh_metrics::etx::LinkCost;
 use mesh_metrics::{EtxTable, ForwarderPlan, PlanConfig};

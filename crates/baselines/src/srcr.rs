@@ -12,6 +12,8 @@
 //! With [`SrcrConfig::autorate`] the sender of every hop runs an Onoe
 //! controller per nexthop (§4.4).
 
+// xtask: allow(panic_path, file) -- SRCR per-node queues and in-flight tables are sized to the topology's node count at setup; route hops come from the Dijkstra pass over that same topology.
+
 use mesh_metrics::etx::LinkCost;
 use mesh_metrics::EtxTable;
 use mesh_sim::autorate::OnoeConfig;

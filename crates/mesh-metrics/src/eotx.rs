@@ -28,6 +28,8 @@
 //! exactly while `d(k) < T/q_{admitted so far}` — i.e. while it is cheaper
 //! than the cost we would settle for without it.
 
+// xtask: allow(panic_path, file) -- EOTX distance/forwarder matrices are square in the node count fixed at build; every loop index ranges over 0..n of those same matrices.
+
 use crate::{EPS, INF};
 use mesh_topology::{NodeId, Topology};
 

@@ -42,6 +42,7 @@ impl Default for OnoeConfig {
 
 /// Per-link Onoe state machine.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct OnoeAutorate {
     cfg: OnoeConfig,
     rate: Bitrate,

@@ -46,17 +46,15 @@
 //! assert!((0.0..=1.0).contains(&p));
 //! ```
 
+// xtask: allow(panic_path, file) -- per-link channel state is sized to the validated topology's link set at build; build() panicking on an invalid spec is its documented contract (validate() is the fallible form).
+
 use crate::Time;
 use mesh_topology::{NodeId, Position, Topology};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// XOR'd into the run seed to give channel evolution its own ChaCha8
-/// stream, so model-internal draws never perturb the engine's main stream
-/// (which is what keeps static runs byte-identical to the pre-channel
-/// engine).
-const CHANNEL_STREAM: u64 = 0xC4A2_2E1C_51A7_0DE1;
+use mesh_topology::streams::CHANNEL_STREAM;
 
 /// Vertical meters per floor, matching the medium's range computations.
 const FLOOR_HEIGHT_M: f64 = 10.0;
@@ -95,6 +93,7 @@ pub trait ChannelModel: Send {
 /// `Static` is the default and reproduces the engine's historical
 /// behaviour byte-for-byte.
 #[derive(Clone, Debug, PartialEq, Default)]
+#[must_use]
 pub enum ChannelSpec {
     /// The §5.3.1 model: each link delivers at the topology's fixed
     /// probability. The default.

@@ -38,6 +38,7 @@ pub type DynPayload = Rc<dyn Any>;
 /// mirror of the scenario layer's `FlowSpec`, so `mesh-sim` stays free of
 /// a dependency on the scenario crate).
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[must_use]
 pub struct FlowDesc {
     /// Source node.
     pub src: NodeId,
@@ -104,6 +105,7 @@ pub trait FlowAgent: NodeAgent {
     /// this together with [`FlowAgent::supports_dynamic_flows`].
     fn add_flow(&mut self, desc: &FlowDesc) -> usize {
         let _ = desc;
+        // xtask: allow(panic_path) -- documented "# Panics" contract: protocols opt in to dynamic flows via supports_dynamic_flows
         panic!("this protocol does not support dynamic flow arrivals");
     }
 
@@ -117,6 +119,7 @@ pub trait FlowAgent: NodeAgent {
     /// this together with [`FlowAgent::supports_dynamic_flows`].
     fn end_flow(&mut self, index: usize) {
         let _ = index;
+        // xtask: allow(panic_path) -- documented "# Panics" contract: protocols opt in to dynamic flows via supports_dynamic_flows
         panic!("this protocol does not support dynamic flow departures");
     }
 }
@@ -162,6 +165,7 @@ where
         let payload = frame
             .payload
             .downcast_ref::<A::Payload>()
+            // xtask: allow(panic_path) -- the simulator registers one payload type per agent; a type mismatch here is a harness bug, never a runtime input
             .expect("erased frame payload does not match the receiving agent's payload type")
             .clone();
         let typed = Frame {

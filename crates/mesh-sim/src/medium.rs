@@ -22,6 +22,8 @@
 //!    probability as reported by the run's [`ChannelModel`], independently
 //!    per receiver (the §5.3.1 model when the channel is static).
 
+// xtask: allow(panic_path, file) -- transmission ids are issued by this module and resolved before eviction; per-node vectors are sized to the topology.
+
 use crate::channel::ChannelModel;
 use crate::{SimConfig, Time};
 use mesh_topology::{NodeId, Topology};
@@ -42,6 +44,7 @@ pub struct Transmission {
 
 /// Precomputed radio relations plus the set of in-flight transmissions.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct Medium {
     n: usize,
     /// `sense[a][b]`: a transmission by `a` keeps `b`'s MAC deferring.

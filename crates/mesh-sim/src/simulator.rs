@@ -21,6 +21,8 @@
 //! collide); broadcasts are fire-and-forget (802.11 semantics — the basis
 //! of both MORE's and ExOR's designs).
 
+// xtask: allow(panic_path, file) -- per-node state vectors are sized to the topology at construction and NodeId indices are validated on ingress; event-heap pops are guarded by the peek directly above.
+
 use crate::channel::{ChannelModel, ChannelSpec};
 use crate::erased::{FlowAgent, FlowDesc};
 use crate::medium::{Medium, Transmission};
@@ -125,6 +127,7 @@ enum InFlight<P> {
 ///
 /// Generic over the protocol agent `A`; see the crate docs for the
 /// callback contract.
+#[must_use]
 pub struct Simulator<A: NodeAgent> {
     topo: Topology,
     cfg: SimConfig,

@@ -4,6 +4,7 @@ use crate::Time;
 
 /// Aggregate and per-node statistics for one simulation run.
 #[derive(Clone, Debug, Default)]
+#[must_use]
 pub struct SimStats {
     /// Data/control frames transmitted, per node (MAC ACKs excluded).
     pub tx_frames: Vec<u64>,

@@ -15,17 +15,14 @@
 //! read off the matrix — separating what the routing layer *believes*
 //! from what the air *does*.
 
+// xtask: allow(panic_path, file) -- probe-window tallies are sized to the topology's node count and indexed by validated NodeIds.
+
 use crate::{NodeId, Topology};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// XOR'd into the seed of [`LinkEstimator::estimate_live`] so probe draws
-/// get their own ChaCha8 stream: callers pass the *run* seed (the probe
-/// window previews that run's channel), and without the separation the
-/// probe's Bernoulli draws would be bit-identical to the run's early
-/// MAC/loss draws, correlating measured beliefs with actual outcomes.
-const PROBE_STREAM: u64 = 0x9B0B_E57A_11E5_7331;
+use crate::streams::PROBE_STREAM;
 
 /// Configuration for the probing process.
 #[derive(Clone, Copy, Debug)]

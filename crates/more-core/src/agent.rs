@@ -1,6 +1,8 @@
 //! The MORE node agent: source / forwarder / destination control flow
 //! (thesis §3.3.3, Fig 3-2) over the simulator's MAC callbacks.
 
+// xtask: allow(panic_path, file) -- per-batch vectors are sized k_b when a batch opens and row indices are bounded by the tracker's rank checks; decoded-batch verification asserts a deterministic-testfile invariant.
+
 use crate::flow::{BatchState, FlowId, FlowProgress, MoreFlow, NodeFlowState};
 use crate::header::MorePayload;
 use crate::{native_byte, ForwarderMetric, MoreConfig};
@@ -190,6 +192,7 @@ impl MoreAgent {
                 // One coefficient per stored row, drawn in row order (the
                 // RNG stream is part of determinism), combined straight
                 // into a pooled vector-only flat buffer.
+                // xtask: allow(pool_pairing) -- ownership transfer: the buffer is frozen into the emitted CodedPacket and recycled downstream when the packet is consumed
                 let mut buf = pool::acquire(k);
                 rlnc::axpy_chunked(
                     &mut buf,

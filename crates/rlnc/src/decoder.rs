@@ -20,6 +20,10 @@
 //! payloads alike — cycles through [`crate::pool`], so a steady-state
 //! destination decodes without touching the allocator.
 
+// xtask: allow(panic_path, file) -- Gaussian elimination is index arithmetic by
+// nature: every row/vector index here is bounded by k == rows.len() ==
+// vector.len(), pinned by Decoder::new and the receive() length asserts.
+
 use crate::packet::{axpy_chunked, CodedPacket};
 use crate::{pool, CodingError};
 use gf256::{slice_ops, Gf256};
@@ -213,32 +217,38 @@ impl Decoder {
         self.rows[i].as_ref().map(|r| &r.payload[..])
     }
 
+    /// Rank recomputed from storage rather than the counter — a complete
+    /// decoder has every row populated, and reporting the stored count
+    /// keeps [`Self::natives`]/[`Self::take_natives`] panic-free even if
+    /// that invariant were ever broken.
+    fn stored_rank(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+
     /// Returns the decoded native packets, consuming nothing; errors if the
     /// batch is not yet complete.
     pub fn natives(&self) -> Result<Vec<Vec<u8>>, CodingError> {
-        if !self.is_complete() {
+        let stored = self.stored_rank();
+        if !self.is_complete() || stored < self.k {
             return Err(CodingError::Incomplete {
-                rank: self.rank,
+                rank: self.rank.min(stored),
                 k: self.k,
             });
         }
         Ok(self
             .rows
             .iter()
-            .map(|r| {
-                r.as_ref()
-                    .expect("complete decoder has all rows")
-                    .payload
-                    .clone()
-            })
+            .flatten()
+            .map(|row| row.payload.clone())
             .collect())
     }
 
     /// Consumes the decoder, returning the native packets.
     pub fn take_natives(mut self) -> Result<Vec<Vec<u8>>, CodingError> {
-        if !self.is_complete() {
+        let stored = self.stored_rank();
+        if !self.is_complete() || stored < self.k {
             return Err(CodingError::Incomplete {
-                rank: self.rank,
+                rank: self.rank.min(stored),
                 k: self.k,
             });
         }
@@ -246,8 +256,8 @@ impl Decoder {
         self.rank = 0;
         Ok(rows
             .into_iter()
-            .map(|r| {
-                let row = r.expect("complete decoder has all rows");
+            .flatten()
+            .map(|row| {
                 pool::release_vec(row.vector);
                 row.payload
             })

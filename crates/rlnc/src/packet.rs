@@ -1,5 +1,7 @@
 //! Code vectors, flat coded packets, and the source-side encoder.
 
+// xtask: allow(panic_path, file) -- header/payload splits index buffers acquired with exactly the k + payload length being split.
+
 use crate::{pool, CodingError};
 use bytes::Bytes;
 use gf256::{slice_ops, Gf256};
@@ -163,6 +165,7 @@ impl CodedPacket {
     /// fresh flat buffer.
     pub fn from_parts(vector: &[u8], payload: &[u8]) -> Self {
         let k = vector.len();
+        // xtask: allow(pool_pairing) -- ownership transfer: the pooled buffer rides inside the returned CodedPacket and is recycled by its consumer via pool::release(packet.into_data())
         let mut buf = pool::acquire(k + payload.len());
         buf[..k].copy_from_slice(vector);
         buf[k..].copy_from_slice(payload);
@@ -290,6 +293,7 @@ impl SourceEncoder {
     /// because it has to code all K packets together").
     pub fn encode<R: Rng + ?Sized>(&self, rng: &mut R) -> CodedPacket {
         let k = self.k();
+        // xtask: allow(pool_pairing) -- ownership transfer: the pooled buffer rides inside the returned CodedPacket and is recycled by its consumer via pool::release(packet.into_data())
         let mut buf = pool::acquire(k + self.payload_len);
         rng.fill(&mut buf[..k]);
         self.combine_into(&mut buf);
@@ -308,6 +312,7 @@ impl SourceEncoder {
         let vector = vector.as_ref();
         let k = self.k();
         assert_eq!(vector.len(), k, "vector length != K");
+        // xtask: allow(pool_pairing) -- ownership transfer: the pooled buffer rides inside the returned CodedPacket and is recycled by its consumer via pool::release(packet.into_data())
         let mut buf = pool::acquire(k + self.payload_len);
         buf[..k].copy_from_slice(vector);
         self.combine_into(&mut buf);

@@ -11,6 +11,8 @@
 //! executed on a worker pool ([`crate::exec::par_map`]) because runs are
 //! independent by construction.
 
+// xtask: allow(panic_path, file) -- run()/run_with_sink() panic on configuration errors as their documented contract (the try_* forms are the fallible API); sweep-grid indices are bounded by the arity computed in the same function.
+
 use crate::exec;
 use crate::manifest::{cell_key, Manifest};
 use crate::record::{time_to_s, FlowRecord, RunRecord};
@@ -104,6 +106,7 @@ impl Scenario {
 /// [`ScenarioBuilder::try_run`] to surface configuration errors as
 /// values), or stream records into a [`RunSink`] with
 /// [`ScenarioBuilder::try_run_with_sink`].
+#[must_use]
 pub struct ScenarioBuilder {
     name: String,
     topology: TopologySpec,

@@ -19,6 +19,7 @@ use std::io;
 
 /// The persistent state of one checkpointed sweep.
 #[derive(Clone, Debug, Default, PartialEq)]
+#[must_use]
 pub struct Manifest {
     /// Scenario name the manifest belongs to (guards against resuming a
     /// different scenario into the same files).

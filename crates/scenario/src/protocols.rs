@@ -12,6 +12,7 @@ use more_core::{MoreAgent, MoreConfig, MulticastMoreAgent};
 
 /// MORE (and, transparently, MORE multicast when a flow has several
 /// destinations — coded broadcast is destination-count agnostic).
+#[must_use]
 pub struct MoreFactory {
     /// Base protocol config; `k` is overridden by [`ExpConfig::k`] at
     /// build time so K-sweeps work uniformly across factories.
@@ -71,6 +72,7 @@ impl ProtocolFactory for MoreFactory {
 }
 
 /// ExOR with its strict batch scheduler.
+#[must_use]
 pub struct ExorFactory {
     /// Base protocol config; `k` is overridden by [`ExpConfig::k`].
     pub cfg: ExorConfig,
@@ -129,6 +131,7 @@ impl ProtocolFactory for ExorFactory {
 }
 
 /// Srcr (best-path source routing), fixed-rate or with Onoe autorate.
+#[must_use]
 pub struct SrcrFactory {
     /// Base protocol config; the bit-rate comes from [`ExpConfig`].
     pub cfg: SrcrConfig,

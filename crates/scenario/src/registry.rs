@@ -71,6 +71,7 @@ pub trait ProtocolFactory: Send + Sync {
 /// Cheap to clone (factories are shared `Arc`s); lookup is
 /// case-insensitive.
 #[derive(Clone, Default)]
+#[must_use]
 pub struct ProtocolRegistry {
     factories: Vec<Arc<dyn ProtocolFactory>>,
 }

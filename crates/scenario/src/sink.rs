@@ -24,6 +24,8 @@
 //! per owned file after every completed cell, and a resumed sweep trims
 //! any torn tail past the last checkpoint before appending.
 
+// xtask: allow(panic_path, file) -- rows are built to the header arity in this same module before any column is indexed, and the P^2 quantile state uses exactly five markers by construction.
+
 use crate::record::{to_csv, to_json, RunRecord};
 use std::collections::BTreeMap;
 use std::io::{self, Seek, SeekFrom, Write};
@@ -101,6 +103,7 @@ impl<S: RunSink + ?Sized> RunSink for &mut S {
 /// [`crate::ScenarioBuilder::try_run`], byte-identical to the
 /// pre-streaming engine.
 #[derive(Debug, Default)]
+#[must_use]
 pub struct Collect {
     records: Vec<RunRecord>,
 }
@@ -340,6 +343,7 @@ impl RunSink for CsvAppend {
 /// quantile of an unbounded stream with five markers and O(1) memory —
 /// what lets [`Aggregate`] report p50/p90 without holding raw samples.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct P2Quantile {
     q: f64,
     /// Marker heights (estimates), ascending.
@@ -508,6 +512,7 @@ impl CellAgg {
 /// ([`RunSink::held`] stays 0), so a million-run sweep aggregates in
 /// O(cells) memory.
 #[derive(Debug, Default)]
+#[must_use]
 pub struct Aggregate {
     cells: BTreeMap<(String, Option<&'static str>, String, String), CellAgg>,
     out: Option<String>,
@@ -640,6 +645,7 @@ impl RunSink for Aggregate {
 /// be owned boxes or `&mut` borrows (so a caller can keep a [`Collect`]
 /// to read back while files stream beside it).
 #[derive(Default)]
+#[must_use]
 pub struct Tee<'a> {
     children: Vec<Box<dyn RunSink + 'a>>,
 }

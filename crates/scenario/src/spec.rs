@@ -1,6 +1,8 @@
 //! Declarative scenario ingredients: topology, traffic, parameters, and
 //! sweeps.
 
+// xtask: allow(panic_path, file) -- FlowSpec validation guarantees a non-empty destination list, and Sweep::value(i) is only called with i < len() by the sweep driver iterating 0..len().
+
 use mesh_sim::{Bitrate, ChannelSpec};
 use mesh_topology::{generate, NodeId, Topology};
 use rand::seq::SliceRandom;
@@ -41,6 +43,7 @@ impl Default for ExpConfig {
 /// One transfer: a source, one or more destinations (several =
 /// multicast), and a packet count.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[must_use]
 pub struct FlowSpec {
     /// Source node.
     pub src: NodeId,

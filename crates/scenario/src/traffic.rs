@@ -35,10 +35,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 
-/// XOR'd into the run seed to give workload randomness its own ChaCha8
-/// stream (the same device [`mesh_sim::channel`] uses for loss-process
-/// evolution), so traffic draws never perturb the engine's main stream.
-pub const TRAFFIC_STREAM: u64 = 0x7AFF_1C00_5EED_F10B;
+pub use mesh_topology::streams::TRAFFIC_STREAM;
 
 /// A timestamped workload event within one simulator run.
 #[derive(Clone, Debug, PartialEq)]
@@ -176,6 +173,7 @@ pub(crate) fn flow_windows(schedule: &[FlowEvent]) -> Vec<FlowWindow> {
             FlowEvent::Stop { flow, at } => {
                 let w = windows
                     .get_mut(*flow)
+                    // xtask: allow(panic_path) -- Stop events are only emitted for flows a Start already inserted
                     .expect("Stop references a flow that never started");
                 w.stop = Some(*at);
             }
@@ -279,6 +277,7 @@ impl TrafficModel for PoissonModel {
             active.retain(|&stop| stop > t);
             // Every arrival draws its endpoints and lifetime even when
             // blocked, so the accepted set only depends on the cap.
+            // xtask: allow(panic_path) -- gen_range(0..pool.len()) keeps the index in bounds, and the pool is validated non-empty at build
             let (src, dst) = pool[rng.gen_range(0..pool.len())];
             let hold = exp_us(&mut rng, self.mean_hold_s).max(1);
             if active.len() >= self.max_active {

@@ -1,0 +1,195 @@
+//! The lint ratchet: a committed baseline of per-lint counts that CI
+//! compares against every run.
+//!
+//! The counts include findings *suppressed by allows*, so the workspace
+//! can be `analyze`-clean while the ratchet still tracks escape-hatch
+//! creep: adding an allow raises a count and fails the ratchet until the
+//! baseline is deliberately re-committed. When counts fall, `ratchet`
+//! rewrites the baseline in place so the improvement locks in.
+//!
+//! The file format is a tiny, stable JSON object (hand-rolled here —
+//! xtask takes no dependencies):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "counts": { "panic_path": 12, "unsafe_sites": 19 }
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Name of the committed baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "xtask-baseline.json";
+
+/// The committed per-lint counts the ratchet compares against.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Baseline {
+    /// Ratchet key (lint name, `unsafe_sites`, `unused_allows`) → count.
+    pub counts: BTreeMap<String, usize>,
+}
+
+/// One count that moved between the baseline and the current run.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Delta {
+    /// The ratchet key that moved.
+    pub key: String,
+    /// The committed count.
+    pub baseline: usize,
+    /// The count this run produced.
+    pub current: usize,
+}
+
+/// Outcome of comparing current counts against the baseline.
+#[derive(Debug, Default)]
+pub struct RatchetResult {
+    /// Counts that rose — each one fails the ratchet.
+    pub rises: Vec<Delta>,
+    /// Counts that fell — the baseline should tighten to these.
+    pub falls: Vec<Delta>,
+}
+
+impl RatchetResult {
+    /// No count rose above its baseline.
+    pub fn passed(&self) -> bool {
+        self.rises.is_empty()
+    }
+}
+
+impl Baseline {
+    /// A baseline holding exactly these counts.
+    pub fn new(counts: BTreeMap<String, usize>) -> Self {
+        Baseline { counts }
+    }
+
+    /// Compares `current` counts against this baseline. Keys absent from
+    /// the baseline start at zero (a brand-new lint with findings is a
+    /// rise); keys absent from `current` count as zero now (a retired
+    /// lint's findings fall away).
+    pub fn compare(&self, current: &BTreeMap<String, usize>) -> RatchetResult {
+        let mut keys: Vec<&String> = self.counts.keys().chain(current.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        let mut result = RatchetResult::default();
+        for key in keys {
+            let base = self.counts.get(key).copied().unwrap_or(0);
+            let cur = current.get(key).copied().unwrap_or(0);
+            let delta = Delta {
+                key: key.clone(),
+                baseline: base,
+                current: cur,
+            };
+            if cur > base {
+                result.rises.push(delta);
+            } else if cur < base {
+                result.falls.push(delta);
+            }
+        }
+        result
+    }
+
+    /// Canonical serialized form — stable key order, one count per line,
+    /// so baseline diffs in review show exactly which lint moved.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"counts\": {\n");
+        let last = self.counts.len().saturating_sub(1);
+        for (i, (key, count)) in self.counts.iter().enumerate() {
+            let comma = if i == last { "" } else { "," };
+            let _ = writeln!(out, "    \"{key}\": {count}{comma}");
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses the baseline file. The grammar is exactly what `render`
+    /// emits plus whitespace freedom: string keys mapped to non-negative
+    /// integers inside the `"counts"` object.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let counts_at = text
+            .find("\"counts\"")
+            .ok_or_else(|| "baseline has no \"counts\" key".to_string())?;
+        let rest = &text[counts_at + "\"counts\"".len()..];
+        let open = rest
+            .find('{')
+            .ok_or_else(|| "\"counts\" is not an object".to_string())?;
+        let body = &rest[open + 1..];
+        let close = body
+            .find('}')
+            .ok_or_else(|| "unterminated \"counts\" object".to_string())?;
+        let body = &body[..close];
+
+        let mut counts = BTreeMap::new();
+        for entry in body.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key_part, val_part) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("malformed counts entry `{entry}`"))?;
+            let key = key_part.trim().trim_matches('"');
+            if key.is_empty() {
+                return Err(format!("empty key in counts entry `{entry}`"));
+            }
+            let value: usize = val_part
+                .trim()
+                .parse()
+                .map_err(|_| format!("non-integer count in `{entry}`"))?;
+            if counts.insert(key.to_string(), value).is_some() {
+                return Err(format!("duplicate counts key `{key}`"));
+            }
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let b = Baseline::new(counts(&[("panic_path", 12), ("unsafe_sites", 19)]));
+        let parsed = Baseline::parse(&b.render()).expect("round trip");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        let b = Baseline::parse("{\"schema\":1,\"counts\":{\"a\":1,  \"b\" : 2 }}").unwrap();
+        assert_eq!(b.counts, counts(&[("a", 1), ("b", 2)]));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"counts\": {\"a\": -1}}").is_err());
+        assert!(Baseline::parse("{\"counts\": {\"a\": 1, \"a\": 2}}").is_err());
+    }
+
+    #[test]
+    fn rises_fail_falls_tighten() {
+        let b = Baseline::new(counts(&[("panic_path", 5), ("pool_pairing", 2)]));
+        let r = b.compare(&counts(&[("panic_path", 6), ("pool_pairing", 1)]));
+        assert!(!r.passed());
+        assert_eq!(r.rises.len(), 1);
+        assert_eq!(r.rises[0].key, "panic_path");
+        assert_eq!(r.falls.len(), 1);
+        assert_eq!(r.falls[0].key, "pool_pairing");
+    }
+
+    #[test]
+    fn new_keys_count_from_zero() {
+        let b = Baseline::new(counts(&[]));
+        let r = b.compare(&counts(&[("stream_registry", 1)]));
+        assert_eq!(r.rises.len(), 1);
+        let r2 = Baseline::new(counts(&[("gone", 3)])).compare(&counts(&[]));
+        assert!(r2.passed());
+        assert_eq!(r2.falls.len(), 1);
+    }
+}

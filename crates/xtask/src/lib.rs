@@ -1,995 +1,875 @@
-//! Workspace static-analysis suite: the determinism and unsafe-audit
-//! lints behind `cargo run -p xtask -- analyze`.
+//! Workspace static-analysis suite: the determinism, panic-freedom, and
+//! unsafe-audit lints behind `cargo run -p xtask -- analyze`, plus the
+//! CI lint ratchet behind `cargo run -p xtask -- ratchet`.
 //!
 //! Every result this repo produces rests on the claim that a run is a
-//! pure function of `(topology, agent, seed, channel)`. The engine
-//! enforces pieces of that contract at runtime (golden files, double-run
-//! byte equality, the cross-thread-count test); this crate enforces the
-//! *source-level hygiene* the runtime checks depend on, with a
-//! hand-rolled line/token analyzer over the workspace's `.rs` files (no
-//! crates.io here, mirroring how `mesh_topology::json` hand-rolls JSON).
+//! pure function of `(topology, agent, seed, channel, traffic)`, and
+//! that the packet path neither panics nor leaks pooled buffers. The
+//! engine enforces pieces of that contract at runtime (golden files,
+//! double-run byte equality, the alloc-budget harness); this crate
+//! enforces the *source-level hygiene* those runtime checks depend on,
+//! with a staged, hand-rolled analyzer (no crates.io here, mirroring how
+//! `mesh_topology::json` hand-rolls JSON):
+//!
+//! 1. `lexer` blanks comments and string/char literals per line and
+//!    marks `#[cfg(test)]` regions;
+//! 2. `tokens` turns the blanked lines into a real token stream;
+//! 3. `parser` recovers a lightweight item model — fn signatures,
+//!    impl blocks, const items, `#[must_use]` types, attribute spans —
+//!    so the expression-aware lints reason about scopes, not lines.
 //!
 //! ## Lint families
 //!
-//! **Determinism** —
-//! * [`Lint::HashIteration`]: `HashMap`/`HashSet` in an engine crate
-//!   (mesh-sim, scenario, more-core, baselines, rlnc, mesh-metrics).
-//!   `RandomState` iteration order can leak into tie-breaks, RNG draws,
-//!   and serialized records; engine containers must be `BTreeMap`/
-//!   `BTreeSet` (or justified via the allowlist).
+//! **Determinism** (line-based) —
+//! * [`Lint::HashIteration`]: `HashMap`/`HashSet` in an engine crate.
 //! * [`Lint::WallClock`]: `Instant::now`/`SystemTime` outside
-//!   `crates/bench`. Simulated time is the only clock the engine may
-//!   read.
+//!   `crates/bench`.
 //! * [`Lint::RngStream`]: RNG construction not derived from the run seed
-//!   — `seed_from_u64` must take the bare seed or `seed ^ *_STREAM` with
-//!   a named stream constant (the `CHANNEL_STREAM`/`TRAFFIC_STREAM`/
-//!   `PROBE_STREAM` discipline); `thread_rng`/`from_entropy` are always
-//!   errors.
-//! * [`Lint::FloatOrd`]: float ordering via `partial_cmp(..).unwrap()`
-//!   (or `.expect(..)`/`.unwrap_or(..)`) instead of `total_cmp` — a NaN
-//!   turns those into panics or, worse, an inconsistent comparator.
+//!   (`seed_from_u64` must take the bare seed or `seed ^ *_STREAM`).
+//! * [`Lint::FloatOrd`]: float ordering via `partial_cmp` + unwrap-style
+//!   methods instead of `total_cmp`.
+//!
+//! **Panic freedom & resource pairing** (expression-aware) —
+//! * [`Lint::PanicPath`]: `unwrap`/`expect`, panicking macros, and
+//!   direct indexing in non-test library-crate code.
+//! * [`Lint::StreamRegistry`]: every `*_STREAM` constant must live in
+//!   the one module marked `// xtask: stream-registry`, be
+//!   workspace-unique in both name and value, and every reference must
+//!   resolve to a registered constant.
+//! * [`Lint::PoolPairing`]: every `pool::acquire`/`acquire_vec` site
+//!   needs a reachable `pool::release*` in an impl of the same type (or
+//!   the same free fn) in the same file.
+//! * [`Lint::MustUseApi`]: public builder-/`Self`-returning fns in
+//!   `scenario`/`mesh-sim` must be `#[must_use]` (directly or via the
+//!   returned type); `Result`/`Option` returns satisfy this
+//!   intrinsically.
 //!
 //! **Unsafe audit** —
-//! * [`Lint::UndocumentedUnsafe`]: every `unsafe` block/fn/impl needs a
-//!   `// SAFETY:` comment on or directly above it. All sites (documented
-//!   or not) are listed in the report's unsafe inventory.
+//! * [`Lint::UndocumentedUnsafe`]: every `unsafe` needs a `// SAFETY:`
+//!   comment; all sites are inventoried.
 //! * [`Lint::MissingForbid`]: every crate root except `crates/gf256`
-//!   must carry `#![forbid(unsafe_code)]`, so the inventory can only
-//!   ever live in one place.
+//!   must carry `#![forbid(unsafe_code)]`.
 //!
 //! **Escape-hatch accounting** — a finding is suppressed by
 //!
 //! ```text
-//! // xtask: allow(<lint>) -- <justification>
+//! // xtask: allow(<lint>) -- <justification>          (this line + the next)
+//! // xtask: allow(<lint>, file) -- <justification>    (whole file)
 //! ```
 //!
-//! trailing the flagged line or on the line above it
 //! (`allow(missing_forbid)` may sit anywhere in the crate root). Every
-//! allowlist entry — used or not — is printed in the report so
-//! suppressions stay reviewable; an allow without a justification or
-//! naming an unknown lint is itself a finding ([`Lint::BadAllow`]).
+//! entry — used or not — is printed in the report, a malformed one is
+//! itself a finding ([`Lint::BadAllow`]), and every *suppressed* finding
+//! still counts toward the [`baseline`] ratchet: `analyze` can be green
+//! while `ratchet` fails on escape-hatch creep.
 //!
-//! Test code (paths under `tests/`/`benches/`, and `#[cfg(test)]`
-//! regions) is exempt from the determinism lints: tests may pin literal
-//! seeds and use hash containers freely. The unsafe audit applies
-//! everywhere.
+//! Test code (paths under `tests/`/`benches/`/`examples/`, and
+//! `#[cfg(test)]` regions) is exempt from the determinism and
+//! panic-path lints: tests may pin literal seeds and unwrap freely. The
+//! unsafe audit applies everywhere.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use std::collections::BTreeMap;
-use std::fmt;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates whose containers can leak iteration order into tie-breaks,
-/// RNG draws, or serialized records.
-pub const ENGINE_CRATES: [&str; 6] = [
-    "mesh-sim",
-    "scenario",
-    "more-core",
-    "baselines",
-    "rlnc",
-    "mesh-metrics",
-];
+pub mod baseline;
+mod lexer;
+mod lints;
+mod parser;
+mod tokens;
 
-/// The lints `analyze` runs.
+use lexer::FileView;
+use parser::ParsedFile;
+
+// ---------------------------------------------------------------------
+// Public model.
+// ---------------------------------------------------------------------
+
+/// The lint families, in report order.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Lint {
-    /// `HashMap`/`HashSet` in an engine crate.
+    /// `HashMap`/`HashSet` in an engine crate (RandomState order).
     HashIteration,
-    /// `Instant::now`/`SystemTime` outside `crates/bench`.
+    /// Wall-clock reads outside `crates/bench`.
     WallClock,
-    /// RNG construction not derived from the run seed via a named
-    /// `*_STREAM` constant.
+    /// RNG construction not derived from the run seed.
     RngStream,
-    /// Float ordering via `partial_cmp(..).unwrap()`-family instead of
-    /// `total_cmp`.
+    /// Float ordering via `partial_cmp` + unwrap-style methods.
     FloatOrd,
+    /// Panicking calls/macros/indexing in library code.
+    PanicPath,
+    /// `*_STREAM` constants outside (or missing from) the registry.
+    StreamRegistry,
+    /// `pool::acquire*` without a reachable `pool::release*` path.
+    PoolPairing,
+    /// Discardable builder/`Self` returns in scenario/mesh-sim.
+    MustUseApi,
     /// `unsafe` without a `// SAFETY:` comment.
     UndocumentedUnsafe,
-    /// Crate root without `#![forbid(unsafe_code)]`.
+    /// Crate root lacking `#![forbid(unsafe_code)]`.
     MissingForbid,
-    /// Malformed allowlist entry (unknown lint or missing justification).
+    /// Malformed `// xtask: allow(..)` comment.
     BadAllow,
 }
 
 impl Lint {
-    /// The name used in `// xtask: allow(<name>)` and in the report.
+    /// Every lint, in report order.
+    pub const ALL: [Lint; 11] = [
+        Lint::HashIteration,
+        Lint::WallClock,
+        Lint::RngStream,
+        Lint::FloatOrd,
+        Lint::PanicPath,
+        Lint::StreamRegistry,
+        Lint::PoolPairing,
+        Lint::MustUseApi,
+        Lint::UndocumentedUnsafe,
+        Lint::MissingForbid,
+        Lint::BadAllow,
+    ];
+
+    /// The lint's snake_case name, as used in allow comments, reports,
+    /// and the ratchet baseline.
     pub fn name(self) -> &'static str {
         match self {
             Lint::HashIteration => "hash_iteration",
             Lint::WallClock => "wall_clock",
             Lint::RngStream => "rng_stream",
             Lint::FloatOrd => "float_ord",
+            Lint::PanicPath => "panic_path",
+            Lint::StreamRegistry => "stream_registry",
+            Lint::PoolPairing => "pool_pairing",
+            Lint::MustUseApi => "must_use_api",
             Lint::UndocumentedUnsafe => "undocumented_unsafe",
             Lint::MissingForbid => "missing_forbid",
             Lint::BadAllow => "bad_allow",
         }
     }
 
-    fn from_name(name: &str) -> Option<Lint> {
-        [
-            Lint::HashIteration,
-            Lint::WallClock,
-            Lint::RngStream,
-            Lint::FloatOrd,
-            Lint::UndocumentedUnsafe,
-            Lint::MissingForbid,
-        ]
-        .into_iter()
-        .find(|l| l.name() == name)
+    /// Resolves an allow-comment lint name. `bad_allow` is deliberately
+    /// absent: a malformed escape hatch cannot be escaped.
+    pub fn from_name(name: &str) -> Option<Lint> {
+        Lint::ALL
+            .into_iter()
+            .find(|l| *l != Lint::BadAllow && l.name() == name)
     }
 }
 
-impl fmt::Display for Lint {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// One unsuppressed lint violation.
-#[derive(Clone, Debug)]
+/// One lint violation.
+#[derive(Debug)]
 pub struct Finding {
     /// Which lint fired.
     pub lint: Lint,
-    /// Path relative to the analysis root, `/`-separated.
+    /// Workspace-relative file path.
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// What is wrong and what to do instead.
+    /// Why this is a contract violation and what to do instead.
     pub message: String,
 }
 
-/// One `// xtask: allow(..) -- ..` comment, wherever it appeared.
-#[derive(Clone, Debug)]
+/// How far a `// xtask: allow(..)` comment reaches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllowScope {
+    /// The comment's own line and the line below it.
+    Line,
+    /// The whole file (`allow(<lint>, file)`).
+    File,
+}
+
+/// One parsed `// xtask: allow(<lint>[, file]) -- <justification>`.
+#[derive(Debug)]
 pub struct AllowEntry {
-    /// Path relative to the analysis root.
+    /// Workspace-relative file path.
     pub file: String,
-    /// 1-based line the comment sits on.
+    /// 1-based line of the comment.
     pub line: usize,
-    /// The lint being allowed.
+    /// The lint being suppressed.
     pub lint: Lint,
-    /// The ` -- ` justification text.
+    /// Line-scoped or file-scoped.
+    pub scope: AllowScope,
+    /// The text after `--`.
     pub justification: String,
     /// Whether the entry suppressed at least one finding.
     pub used: bool,
 }
 
-/// One `unsafe` site, documented or not.
-#[derive(Clone, Debug)]
+/// One `unsafe` occurrence, documented or not.
+#[derive(Debug)]
 pub struct UnsafeSite {
-    /// Path relative to the analysis root.
+    /// Workspace-relative file path.
     pub file: String,
-    /// 1-based line of the `unsafe` keyword.
+    /// 1-based line number.
     pub line: usize,
-    /// `"fn"`, `"impl"`, `"trait"`, or `"block"`.
+    /// `block`, `fn`, `impl`, or `trait`.
     pub kind: &'static str,
-    /// The `SAFETY:` comment text, when present.
+    /// The `SAFETY:` text, when present.
     pub safety: Option<String>,
 }
 
-/// Everything one `analyze` pass produced.
-#[derive(Clone, Debug, Default)]
+/// Everything one `analyze` run produced.
+#[derive(Default)]
 pub struct Report {
-    /// Unsuppressed findings, in (file, line) order.
+    /// Unsuppressed violations, sorted by (file, line, lint).
     pub findings: Vec<Finding>,
-    /// Every allowlist entry seen, in (file, line) order.
+    /// Every allow entry seen, with its usage accounted.
     pub allows: Vec<AllowEntry>,
-    /// Every `unsafe` site seen, in (file, line) order.
+    /// The full unsafe inventory (documented sites included).
     pub unsafe_sites: Vec<UnsafeSite>,
-    /// `.rs` files scanned.
+    /// Findings suppressed by allows, counted per lint.
+    pub suppressed: BTreeMap<Lint, usize>,
+    /// Registered stream constants: name → (file, line).
+    pub stream_registry: BTreeMap<String, (String, usize)>,
+    /// Number of `.rs` files analyzed.
     pub files_scanned: usize,
 }
 
 impl Report {
-    /// True when the workspace is clean (exit code 0).
+    /// No unsuppressed findings.
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
 
-    /// Findings of one lint (test helper).
+    /// The unsuppressed findings of one lint.
     pub fn of(&self, lint: Lint) -> Vec<&Finding> {
         self.findings.iter().filter(|f| f.lint == lint).collect()
     }
 
-    /// Renders the human-readable report.
+    /// The ratchet counts: per-lint totals *including* findings
+    /// suppressed by allows, plus the unsafe inventory size and the
+    /// number of unused allow entries. A clean `analyze` can therefore
+    /// still regress the ratchet by adding escape hatches.
+    pub fn counts(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for lint in Lint::ALL {
+            let visible = self.findings.iter().filter(|f| f.lint == lint).count();
+            let hidden = self.suppressed.get(&lint).copied().unwrap_or(0);
+            out.insert(lint.name().to_string(), visible + hidden);
+        }
+        out.insert("unsafe_sites".to_string(), self.unsafe_sites.len());
+        out.insert(
+            "unused_allows".to_string(),
+            self.allows.iter().filter(|a| !a.used).count(),
+        );
+        out
+    }
+
+    /// Human-readable report.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "xtask analyze: {} file(s) scanned\n\n",
-            self.files_scanned
-        ));
-
-        if self.findings.is_empty() {
-            out.push_str("findings: none\n");
-        } else {
-            out.push_str(&format!("findings: {}\n", self.findings.len()));
-            let mut by_lint: BTreeMap<Lint, Vec<&Finding>> = BTreeMap::new();
-            for f in &self.findings {
-                by_lint.entry(f.lint).or_default().push(f);
-            }
-            for (lint, findings) in by_lint {
-                out.push_str(&format!("\n[{lint}] {} finding(s)\n", findings.len()));
-                for f in findings {
-                    out.push_str(&format!("  {}:{}: {}\n", f.file, f.line, f.message));
-                }
-            }
+        let _ = writeln!(
+            out,
+            "xtask analyze: {} file(s) scanned, {} finding(s)",
+            self.files_scanned,
+            self.findings.len()
+        );
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "  {}:{}  [{}] {}",
+                f.file,
+                f.line,
+                f.lint.name(),
+                f.message
+            );
         }
-
-        out.push_str(&format!(
-            "\nunsafe inventory: {} site(s)\n",
-            self.unsafe_sites.len()
-        ));
-        for s in &self.unsafe_sites {
-            match &s.safety {
-                Some(text) => out.push_str(&format!(
-                    "  {}:{} [{}] SAFETY: {}\n",
-                    s.file, s.line, s.kind, text
-                )),
-                None => out.push_str(&format!(
-                    "  {}:{} [{}] (no SAFETY comment)\n",
-                    s.file, s.line, s.kind
-                )),
-            }
-        }
-
-        out.push_str(&format!("\nallowlist entries: {}\n", self.allows.len()));
+        let _ = writeln!(out, "allowlist entries: {}", self.allows.len());
         for a in &self.allows {
-            out.push_str(&format!(
-                "  {}:{} allow({}) -- {} [{}]\n",
+            let scope = match a.scope {
+                AllowScope::Line => "",
+                AllowScope::File => ", file",
+            };
+            let state = if a.used { "used" } else { "UNUSED" };
+            let _ = writeln!(
+                out,
+                "  {}:{}  allow({}{}) {} -- {}",
                 a.file,
                 a.line,
-                a.lint,
-                a.justification,
-                if a.used { "used" } else { "UNUSED" },
-            ));
+                a.lint.name(),
+                scope,
+                state,
+                a.justification
+            );
+        }
+        let suppressed_total: usize = self.suppressed.values().sum();
+        if suppressed_total > 0 {
+            let pairs: Vec<String> = self
+                .suppressed
+                .iter()
+                .filter(|(_, n)| **n > 0)
+                .map(|(l, n)| format!("{}={n}", l.name()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "suppressed by allows: {} ({})",
+                suppressed_total,
+                pairs.join(", ")
+            );
+        }
+        let _ = writeln!(
+            out,
+            "stream registry: {} constant(s)",
+            self.stream_registry.len()
+        );
+        let documented = self
+            .unsafe_sites
+            .iter()
+            .filter(|s| s.safety.is_some())
+            .count();
+        let _ = writeln!(
+            out,
+            "unsafe inventory: {} site(s), {} documented",
+            self.unsafe_sites.len(),
+            documented
+        );
+        for s in &self.unsafe_sites {
+            let safety = s.safety.as_deref().unwrap_or("<undocumented>");
+            let _ = writeln!(
+                out,
+                "  {}:{}  unsafe {}  SAFETY: {}",
+                s.file, s.line, s.kind, safety
+            );
+        }
+        out
+    }
+
+    /// Machine-readable report for tooling.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let comma = if i + 1 == self.findings.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{comma}",
+                f.lint.name(),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message)
+            );
+        }
+        out.push_str("  ],\n  \"allows\": [\n");
+        for (i, a) in self.allows.iter().enumerate() {
+            let comma = if i + 1 == self.allows.len() { "" } else { "," };
+            let scope = match a.scope {
+                AllowScope::Line => "line",
+                AllowScope::File => "file",
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"scope\": \"{scope}\", \"used\": {}, \"justification\": \"{}\"}}{comma}",
+                a.lint.name(),
+                json_escape(&a.file),
+                a.line,
+                a.used,
+                json_escape(&a.justification)
+            );
+        }
+        out.push_str("  ],\n  \"counts\": {\n");
+        let counts = self.counts();
+        let last = counts.len().saturating_sub(1);
+        for (i, (key, n)) in counts.iter().enumerate() {
+            let comma = if i == last { "" } else { "," };
+            let _ = writeln!(out, "    \"{key}\": {n}{comma}");
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// GitHub Actions workflow annotations: one `::error` per finding,
+    /// one `::warning` per unused allow.
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "::error file={},line={},title=xtask {}::{}",
+                f.file,
+                f.line,
+                f.lint.name(),
+                f.message
+            );
+        }
+        for a in self.allows.iter().filter(|a| !a.used) {
+            let _ = writeln!(
+                out,
+                "::warning file={},line={},title=xtask unused allow::allow({}) suppresses nothing; remove it",
+                a.file,
+                a.line,
+                a.lint.name()
+            );
         }
         out
     }
 }
 
-/// Analyzes every `.rs` file under `root` (skipping `target/`, `vendor/`,
-/// `.git/`, and `tests/fixtures/` trees) and returns the [`Report`].
-///
-/// Deterministic: directory entries are visited in sorted order, and no
-/// lint consults anything but file contents and paths.
-pub fn analyze_root(root: &Path) -> io::Result<Report> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
-
-    let mut report = Report::default();
-    for rel in &files {
-        let text = std::fs::read_to_string(root.join(rel))?;
-        analyze_file(&rel_display(rel), &text, &mut report);
-    }
-    report.files_scanned = files.len();
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
-    Ok(report)
-}
-
-fn rel_display(rel: &Path) -> String {
-    rel.components()
-        .map(|c| c.as_os_str().to_string_lossy().into_owned())
-        .collect::<Vec<_>>()
-        .join("/")
-}
-
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    let mut entries: Vec<_> = std::fs::read_dir(dir)?
-        .collect::<io::Result<Vec<_>>>()?
-        .into_iter()
-        .map(|e| e.path())
-        .collect();
-    entries.sort();
-    for path in entries {
-        let name = path
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        if path.is_dir() {
-            if matches!(name.as_str(), "target" | "vendor" | ".git" | "results") {
-                continue;
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
-            // The analyzer's own deliberately-bad test fixtures.
-            if name == "fixtures" && dir.file_name().is_some_and(|d| d == "tests") {
-                continue;
-            }
-            collect_rs_files(root, &path, out)?;
-        } else if name.ends_with(".rs") {
-            let rel = path
-                .strip_prefix(root)
-                .expect("walked paths live under root")
-                .to_path_buf();
-            out.push(rel);
+            c => out.push(c),
         }
-    }
-    Ok(())
-}
-
-/// Which crate (the `crates/<name>` directory) a workspace-relative path
-/// belongs to, if any.
-fn crate_of(file: &str) -> Option<&str> {
-    let rest = file.strip_prefix("crates/")?;
-    rest.split('/').next()
-}
-
-fn is_engine_crate(file: &str) -> bool {
-    crate_of(file).is_some_and(|c| ENGINE_CRATES.contains(&c))
-}
-
-/// Paths that hold test or bench harness code: exempt from the
-/// determinism lints (tests pin literal seeds on purpose).
-fn is_test_path(file: &str) -> bool {
-    file.starts_with("tests/")
-        || file.contains("/tests/")
-        || file.starts_with("benches/")
-        || file.contains("/benches/")
-        || file.starts_with("examples/")
-        || file.contains("/examples/")
-}
-
-/// Crate roots that must carry `#![forbid(unsafe_code)]`: every
-/// `crates/<name>/src/lib.rs` except gf256 (the one crate allowed
-/// `unsafe`), plus the umbrella `src/lib.rs`.
-fn requires_forbid(file: &str) -> bool {
-    if file == "src/lib.rs" {
-        return true;
-    }
-    match (
-        crate_of(file),
-        file.split('/').collect::<Vec<_>>().as_slice(),
-    ) {
-        (Some(c), ["crates", _, "src", "lib.rs"]) => c != "gf256",
-        _ => false,
-    }
-}
-
-/// Per-line views of one source file.
-struct FileView {
-    /// Raw lines, as written.
-    raw: Vec<String>,
-    /// Lines with comments and string/char-literal contents blanked to
-    /// spaces — what the token lints scan.
-    code: Vec<String>,
-    /// Whether each line sits in a `#[cfg(test)]` region.
-    test: Vec<bool>,
-    /// The text after a line comment's `//`, when the lexer saw one in
-    /// code position (so `//` inside a string never counts).
-    comment: Vec<Option<String>>,
-}
-
-fn analyze_file(file: &str, text: &str, report: &mut Report) {
-    let view = lex(text);
-    let mut allows = parse_allows(file, &view, report);
-
-    let mut findings = Vec::new();
-    run_token_lints(file, &view, &mut findings);
-    run_unsafe_audit(file, &view, &mut findings, report);
-    run_forbid_lint(file, &view, &mut findings);
-
-    // Escape-hatch accounting: an allow suppresses findings of its lint
-    // on its own line or the line below (missing_forbid: anywhere in the
-    // crate root, since the finding pins to line 1).
-    for f in findings {
-        let allow = allows.iter_mut().find(|a| {
-            a.lint == f.lint
-                && (a.line == f.line || a.line + 1 == f.line || f.lint == Lint::MissingForbid)
-        });
-        match allow {
-            Some(a) => a.used = true,
-            None => report.findings.push(f),
-        }
-    }
-    report.allows.extend(allows);
-}
-
-fn parse_allows(file: &str, view: &FileView, report: &mut Report) -> Vec<AllowEntry> {
-    // The directive must be the whole line comment: `// xtask: allow(..)`.
-    // Matching against the lexer's comment text (not the raw line) keeps
-    // mentions inside strings and `///`/`//!` docs from parsing as allows.
-    const MARKER: &str = "xtask: allow(";
-    let mut out = Vec::new();
-    for (i, comment) in view.comment.iter().enumerate() {
-        let Some(text) = comment.as_deref().map(str::trim_start) else {
-            continue;
-        };
-        if !text.starts_with(MARKER) {
-            continue;
-        }
-        let line = i + 1;
-        let rest = &text[MARKER.len()..];
-        let bad = |msg: String, report: &mut Report| {
-            report.findings.push(Finding {
-                lint: Lint::BadAllow,
-                file: file.to_string(),
-                line,
-                message: msg,
-            });
-        };
-        let Some(close) = rest.find(')') else {
-            bad("unclosed `// xtask: allow(`".to_string(), report);
-            continue;
-        };
-        let name = rest[..close].trim();
-        let Some(lint) = Lint::from_name(name) else {
-            bad(
-                format!("unknown lint `{name}` in allow (see `xtask analyze --help`)"),
-                report,
-            );
-            continue;
-        };
-        let after = &rest[close + 1..];
-        let justification = after
-            .split_once("--")
-            .map(|(_, j)| j.trim().to_string())
-            .unwrap_or_default();
-        if justification.is_empty() {
-            bad(
-                format!("allow({name}) needs a justification: `// xtask: allow({name}) -- <why>`"),
-                report,
-            );
-            continue;
-        }
-        out.push(AllowEntry {
-            file: file.to_string(),
-            line,
-            lint,
-            justification,
-            used: false,
-        });
     }
     out
 }
 
-fn run_token_lints(file: &str, view: &FileView, findings: &mut Vec<Finding>) {
-    let in_bench_crate = crate_of(file) == Some("bench");
-    let engine = is_engine_crate(file);
-    let test_path = is_test_path(file);
+// ---------------------------------------------------------------------
+// Workspace context (phase 2 of analyze_root).
+// ---------------------------------------------------------------------
 
-    for (i, code) in view.code.iter().enumerate() {
-        let line = i + 1;
-        if test_path || view.test[i] {
-            continue; // determinism lints skip test code
+/// Comment marker that designates the canonical stream-registry module.
+const REGISTRY_MARKER: &str = "xtask: stream-registry";
+
+/// Cross-file facts the expression lints consult.
+pub(crate) struct Ctx {
+    /// Files carrying the registry marker (at most one is legitimate).
+    pub registry_files: Vec<String>,
+    /// Registered stream constants: name → (file, line, value tokens).
+    pub streams: BTreeMap<String, (String, usize, String)>,
+    /// All `#[must_use]`-annotated type names, workspace-wide.
+    pub must_use_types: BTreeSet<String>,
+}
+
+struct FileEntry {
+    rel: String,
+    view: FileView,
+    parsed: ParsedFile,
+}
+
+fn build_ctx(entries: &[FileEntry]) -> (Ctx, Vec<Finding>) {
+    let mut findings = Vec::new();
+
+    let mut registry_files = Vec::new();
+    for e in entries {
+        // The marker must be the whole line comment (mentions in doc
+        // comments and strings don't count).
+        if e.view
+            .comment
+            .iter()
+            .any(|c| c.as_deref().is_some_and(|c| c.trim() == REGISTRY_MARKER))
+        {
+            registry_files.push(e.rel.clone());
         }
-        let push = |lint: Lint, message: String, findings: &mut Vec<Finding>| {
+    }
+    registry_files.sort();
+    for extra in registry_files.iter().skip(1) {
+        findings.push(Finding {
+            lint: Lint::StreamRegistry,
+            file: extra.clone(),
+            line: 1,
+            message: format!(
+                "second `// {REGISTRY_MARKER}` marker (canonical module is `{}`); \
+                 the workspace allows exactly one registry",
+                registry_files[0]
+            ),
+        });
+    }
+
+    // Every *_STREAM const in the workspace, for uniqueness checks; the
+    // registered subset is those inside registry files.
+    let mut streams: BTreeMap<String, (String, usize, String)> = BTreeMap::new();
+    let mut seen: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for e in entries {
+        for c in &e.parsed.consts {
+            if !c.name.ends_with("_STREAM") || c.name.len() == "_STREAM".len() {
+                continue;
+            }
+            if e.view.test.get(c.line - 1).copied().unwrap_or(false) {
+                continue;
+            }
+            if let Some((first_file, first_line)) = seen.get(&c.name) {
+                findings.push(Finding {
+                    lint: Lint::StreamRegistry,
+                    file: e.rel.clone(),
+                    line: c.line,
+                    message: format!(
+                        "stream constant `{}` is already defined at \
+                         {first_file}:{first_line}; stream names must be \
+                         workspace-unique",
+                        c.name
+                    ),
+                });
+            } else {
+                seen.insert(c.name.clone(), (e.rel.clone(), c.line));
+            }
+            if registry_files.contains(&e.rel) {
+                streams.insert(c.name.clone(), (e.rel.clone(), c.line, c.value.clone()));
+            }
+        }
+    }
+
+    // Registered stream *values* must be unique too: two streams with
+    // the same XOR constant would collapse into one RNG sequence.
+    let mut by_value: BTreeMap<&str, &str> = BTreeMap::new();
+    for (name, (file, line, value)) in &streams {
+        if value.is_empty() {
+            continue;
+        }
+        if let Some(other) = by_value.get(value.as_str()) {
             findings.push(Finding {
-                lint,
+                lint: Lint::StreamRegistry,
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "stream constant `{name}` has the same value as `{other}`; \
+                     identical streams collapse into one RNG sequence"
+                ),
+            });
+        } else {
+            by_value.insert(value, name);
+        }
+    }
+
+    let mut must_use_types = BTreeSet::new();
+    for e in entries {
+        for t in &e.parsed.must_use_types {
+            must_use_types.insert(t.clone());
+        }
+    }
+
+    (
+        Ctx {
+            registry_files,
+            streams,
+            must_use_types,
+        },
+        findings,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Allow parsing and resolution.
+// ---------------------------------------------------------------------
+
+const ALLOW_MARKER: &str = "xtask: allow(";
+
+fn parse_allows(file: &str, view: &FileView, findings: &mut Vec<Finding>) -> Vec<AllowEntry> {
+    let mut allows = Vec::new();
+    // The directive must be the whole line comment: `// xtask: allow(..)`.
+    // Matching against the lexer's comment text (not the raw line) keeps
+    // mentions inside strings and `///`/`//!` docs from parsing as allows.
+    for (i, comment) in view.comment.iter().enumerate() {
+        let Some(comment) = comment.as_deref().map(str::trim_start) else {
+            continue;
+        };
+        if !comment.starts_with(ALLOW_MARKER) {
+            continue;
+        }
+        let pos = 0;
+        let line = i + 1;
+        let bad = |message: String, findings: &mut Vec<Finding>| {
+            findings.push(Finding {
+                lint: Lint::BadAllow,
                 file: file.to_string(),
                 line,
                 message,
             });
         };
-
-        if engine && (contains_word(code, "HashMap") || contains_word(code, "HashSet")) {
-            push(
-                Lint::HashIteration,
-                "hash containers iterate in RandomState order, which can leak into \
-                 tie-breaks, RNG draws, and serialized records; use BTreeMap/BTreeSet \
-                 (or allowlist a lookup-only use with a justification)"
-                    .to_string(),
-                findings,
-            );
-        }
-
-        if !in_bench_crate && (code.contains("Instant::now") || contains_word(code, "SystemTime")) {
-            push(
-                Lint::WallClock,
-                "wall-clock reads outside crates/bench break run reproducibility; \
-                 simulated time is the only clock the engine may consult"
-                    .to_string(),
-                findings,
-            );
-        }
-
-        if !in_bench_crate {
-            if contains_word(code, "thread_rng") || contains_word(code, "from_entropy") {
-                push(
-                    Lint::RngStream,
-                    "entropy-seeded RNGs make runs irreproducible; derive every RNG \
-                     from the run seed via a named *_STREAM constant"
-                        .to_string(),
+        let rest = &comment[pos + ALLOW_MARKER.len()..];
+        let Some(close) = rest.find(')') else {
+            bad("allow comment has no closing `)`".to_string(), findings);
+            continue;
+        };
+        let spec = &rest[..close];
+        let (name, scope) = match spec.split_once(',') {
+            None => (spec.trim(), AllowScope::Line),
+            Some((name, modifier)) if modifier.trim() == "file" => (name.trim(), AllowScope::File),
+            Some((_, modifier)) => {
+                bad(
+                    format!(
+                        "unknown allow modifier `{}`; the only modifier is `file`",
+                        modifier.trim()
+                    ),
                     findings,
                 );
+                continue;
             }
-            for arg in call_args(code, "seed_from_u64") {
-                if !seed_arg_ok(&arg) {
-                    push(
-                        Lint::RngStream,
-                        format!(
-                            "`seed_from_u64({arg})` is not derived from the run seed; \
-                             pass the bare seed or `seed ^ <NAME>_STREAM` with a named \
-                             stream constant"
-                        ),
-                        findings,
-                    );
-                }
-            }
-        }
-
-        if code.contains("partial_cmp") && !code.contains("fn partial_cmp") {
-            let next = view.code.get(i + 1).map(String::as_str).unwrap_or("");
-            let unwrapped = [code, next].iter().any(|l| {
-                l.contains(".unwrap()") || l.contains(".expect(") || l.contains(".unwrap_or(")
-            });
-            if unwrapped {
-                push(
-                    Lint::FloatOrd,
-                    "float ordering via partial_cmp + unwrap/expect/unwrap_or panics \
-                     (or lies) on NaN; use f64::total_cmp for a deterministic total \
-                     order"
-                        .to_string(),
-                    findings,
-                );
-            }
-        }
-    }
-}
-
-/// Extracts the argument text of each `name(...)` call on a code line.
-fn call_args(code: &str, name: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(name) {
-        let start = from + pos + name.len();
-        from = start;
-        let rest = &code[start..];
-        if !rest.starts_with('(') {
+        };
+        let Some(lint) = Lint::from_name(name) else {
+            bad(format!("unknown lint `{name}` in allow comment"), findings);
+            continue;
+        };
+        let after = rest[close + 1..].trim();
+        let Some(justification) = after.strip_prefix("--").map(str::trim) else {
+            bad(
+                "allow comment lacks a `-- <justification>`".to_string(),
+                findings,
+            );
+            continue;
+        };
+        if justification.is_empty() {
+            bad("allow justification is empty".to_string(), findings);
             continue;
         }
-        let mut depth = 0usize;
-        let mut end = rest.len();
-        for (j, c) in rest.char_indices() {
-            match c {
-                '(' => depth += 1,
-                ')' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = j;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        out.push(rest[1..end].trim().to_string());
-    }
-    out
-}
-
-/// A `seed_from_u64` argument is acceptable when it references a named
-/// `*_STREAM` constant, or is a plain path expression mentioning the
-/// seed (`seed`, `run_seed`, `self.seed`, …) with no arithmetic.
-fn seed_arg_ok(arg: &str) -> bool {
-    if arg.contains("_STREAM") {
-        return true;
-    }
-    let plain = arg
-        .chars()
-        .all(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':' | ' '));
-    plain && arg.to_lowercase().contains("seed")
-}
-
-fn run_unsafe_audit(file: &str, view: &FileView, findings: &mut Vec<Finding>, report: &mut Report) {
-    for (i, code) in view.code.iter().enumerate() {
-        let mut from = 0;
-        while let Some(pos) = find_word(&code[from..], "unsafe") {
-            let at = from + pos;
-            from = at + "unsafe".len();
-            let after = code[from..].trim_start();
-            let kind = if after.starts_with("fn") {
-                "fn"
-            } else if after.starts_with("impl") {
-                "impl"
-            } else if after.starts_with("trait") {
-                "trait"
-            } else {
-                "block"
-            };
-            let safety = safety_comment(view, i);
-            if safety.is_none() {
-                findings.push(Finding {
-                    lint: Lint::UndocumentedUnsafe,
-                    file: file.to_string(),
-                    line: i + 1,
-                    message: format!(
-                        "unsafe {kind} without a `// SAFETY:` comment on or directly \
-                         above it"
-                    ),
-                });
-            }
-            report.unsafe_sites.push(UnsafeSite {
-                file: file.to_string(),
-                line: i + 1,
-                kind,
-                safety,
-            });
-        }
-    }
-}
-
-/// The `SAFETY:` text for an unsafe site on line `i` (0-based): trailing
-/// on the same raw line, or in the contiguous block of comments and
-/// attributes directly above.
-fn safety_comment(view: &FileView, i: usize) -> Option<String> {
-    let extract = |raw: &str| {
-        raw.find("SAFETY:")
-            .map(|p| raw[p + "SAFETY:".len()..].trim().to_string())
-    };
-    if let Some(text) = view.comment[i].as_deref().and_then(extract) {
-        return Some(text);
-    }
-    for j in (0..i).rev() {
-        let t = view.raw[j].trim();
-        if t.starts_with("//") {
-            if let Some(text) = extract(t) {
-                return Some(text);
-            }
-        } else if !t.starts_with("#[") && !t.starts_with("#![") {
-            break;
-        }
-    }
-    None
-}
-
-fn run_forbid_lint(file: &str, view: &FileView, findings: &mut Vec<Finding>) {
-    if !requires_forbid(file) {
-        return;
-    }
-    let has = view
-        .code
-        .iter()
-        .any(|l| l.replace(' ', "").contains("#![forbid(unsafe_code)]"));
-    if !has {
-        findings.push(Finding {
-            lint: Lint::MissingForbid,
+        allows.push(AllowEntry {
             file: file.to_string(),
-            line: 1,
-            message: "crate root lacks #![forbid(unsafe_code)]; only crates/gf256 may \
-                      contain unsafe so the audit inventory stays in one place"
-                .to_string(),
+            line,
+            lint,
+            scope,
+            justification: justification.to_string(),
+            used: false,
         });
     }
+    allows
+}
+
+/// Moves unsuppressed findings into the report, marks matching allows
+/// used, and counts what the allows hid.
+fn resolve(findings: Vec<Finding>, allows: &mut [AllowEntry], report: &mut Report) {
+    for f in findings {
+        if f.lint == Lint::BadAllow {
+            report.findings.push(f);
+            continue;
+        }
+        let matched = allows.iter_mut().find(|a| {
+            a.lint == f.lint
+                && match a.scope {
+                    // An allow covers its own line and the line below it
+                    // (comment-above style). `missing_forbid` anchors to
+                    // line 1, so any allow of it in the file counts.
+                    AllowScope::Line => {
+                        a.line == f.line || a.line + 1 == f.line || f.lint == Lint::MissingForbid
+                    }
+                    AllowScope::File => true,
+                }
+        });
+        match matched {
+            Some(a) => {
+                a.used = true;
+                *report.suppressed.entry(f.lint).or_insert(0) += 1;
+            }
+            None => report.findings.push(f),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
-// Lexer: raw lines + comment/string-blanked code lines + test regions.
+// Driver.
 // ---------------------------------------------------------------------
 
-#[derive(Clone, Copy, PartialEq)]
-enum LexState {
-    Normal,
-    /// Nesting depth of `/* */`.
-    Block(usize),
-    Str,
-    /// `r##"..."##` with this many hashes.
-    RawStr(usize),
+/// Analyzes every tracked `.rs` file under `root`.
+pub fn analyze_root(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.to_path_buf(), &mut files)?;
+    files.sort();
+
+    let mut entries = Vec::with_capacity(files.len());
+    for path in &files {
+        let text = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let view = lexer::lex(&text);
+        let parsed = parser::parse(tokens::tokenize(&view));
+        entries.push(FileEntry { rel, view, parsed });
+    }
+
+    let (ctx, ctx_findings) = build_ctx(&entries);
+
+    let mut report = Report {
+        files_scanned: entries.len(),
+        ..Report::default()
+    };
+    let mut leftover_ctx = ctx_findings;
+    for e in &entries {
+        let mut findings = Vec::new();
+        lints::run_line_lints(&e.rel, &e.view, &mut findings);
+        lints::run_forbid_lint(&e.rel, &e.view, &mut findings);
+        lints::run_unsafe_audit(&e.rel, &e.view, &mut findings, &mut report);
+        lints::run_expr_lints(&e.rel, &e.parsed, &e.view, &ctx, &mut findings);
+        let (mine, rest): (Vec<Finding>, Vec<Finding>) =
+            leftover_ctx.drain(..).partition(|f| f.file == e.rel);
+        leftover_ctx = rest;
+        findings.extend(mine);
+
+        let mut allows = parse_allows(&e.rel, &e.view, &mut findings);
+        resolve(findings, &mut allows, &mut report);
+        report.allows.extend(allows);
+    }
+    report.findings.extend(leftover_ctx);
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    for (name, (file, line, _)) in &ctx.streams {
+        report
+            .stream_registry
+            .insert(name.clone(), (file.clone(), *line));
+    }
+    Ok(report)
 }
 
-fn lex(text: &str) -> FileView {
-    let raw: Vec<String> = text.lines().map(str::to_string).collect();
-    let mut code = Vec::with_capacity(raw.len());
-    let mut comment: Vec<Option<String>> = Vec::with_capacity(raw.len());
-    let mut state = LexState::Normal;
-
-    for line in &raw {
-        let bytes: Vec<char> = line.chars().collect();
-        let mut out = String::with_capacity(line.len());
-        let mut line_comment: Option<String> = None;
-        let mut i = 0;
-        while i < bytes.len() {
-            let c = bytes[i];
-            match state {
-                LexState::Block(depth) => {
-                    if c == '/' && bytes.get(i + 1) == Some(&'*') {
-                        state = LexState::Block(depth + 1);
-                        out.push_str("  ");
-                        i += 2;
-                    } else if c == '*' && bytes.get(i + 1) == Some(&'/') {
-                        state = if depth == 1 {
-                            LexState::Normal
-                        } else {
-                            LexState::Block(depth - 1)
-                        };
-                        out.push_str("  ");
-                        i += 2;
-                    } else {
-                        out.push(' ');
-                        i += 1;
-                    }
-                }
-                LexState::Str => {
-                    if c == '\\' {
-                        out.push_str("  ");
-                        i += 2;
-                    } else if c == '"' {
-                        state = LexState::Normal;
-                        out.push('"');
-                        i += 1;
-                    } else {
-                        out.push(' ');
-                        i += 1;
-                    }
-                }
-                LexState::RawStr(hashes) => {
-                    if c == '"' && closes_raw(&bytes, i, hashes) {
-                        state = LexState::Normal;
-                        out.push('"');
-                        for _ in 0..hashes {
-                            out.push(' ');
-                        }
-                        i += 1 + hashes;
-                    } else {
-                        out.push(' ');
-                        i += 1;
-                    }
-                }
-                LexState::Normal => {
-                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
-                        // Line comment: record its text, blank the rest.
-                        if line_comment.is_none() {
-                            line_comment = Some(bytes[i + 2..].iter().collect());
-                        }
-                        while i < bytes.len() {
-                            out.push(' ');
-                            i += 1;
-                        }
-                    } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
-                        state = LexState::Block(1);
-                        out.push_str("  ");
-                        i += 2;
-                    } else if c == '"' {
-                        state = LexState::Str;
-                        out.push('"');
-                        i += 1;
-                    } else if c == 'r' && is_raw_str_start(&bytes, i) {
-                        let hashes = count_hashes(&bytes, i + 1);
-                        state = LexState::RawStr(hashes);
-                        out.push('r');
-                        for _ in 0..hashes + 1 {
-                            out.push(' ');
-                        }
-                        i += hashes + 2;
-                    } else if c == '\'' {
-                        // Char literal vs lifetime: a literal closes with
-                        // a quote after one (possibly escaped) character.
-                        if bytes.get(i + 1) == Some(&'\\') {
-                            // Escaped char literal: skip to the closing quote.
-                            let mut j = i + 2;
-                            while j < bytes.len() && bytes[j] != '\'' {
-                                j += 1;
-                            }
-                            for _ in i..=j.min(bytes.len() - 1) {
-                                out.push(' ');
-                            }
-                            i = j + 1;
-                        } else if bytes.get(i + 2) == Some(&'\'') {
-                            out.push_str("   ");
-                            i += 3;
-                        } else {
-                            // Lifetime: keep as code.
-                            out.push('\'');
-                            i += 1;
-                        }
-                    } else {
-                        out.push(c);
-                        i += 1;
-                    }
-                }
+fn collect_rs_files(dir: &PathBuf, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Skip build output, VCS state, vendored crates, experiment
+            // results, and the analyzer's own lint fixtures.
+            if matches!(
+                &*name,
+                "target" | ".git" | "vendor" | "results" | "fixtures"
+            ) {
+                continue;
             }
-        }
-        code.push(out);
-        comment.push(line_comment);
-    }
-
-    let test = mark_test_regions(&code);
-    FileView {
-        raw,
-        code,
-        test,
-        comment,
-    }
-}
-
-fn is_raw_str_start(bytes: &[char], i: usize) -> bool {
-    // `r"` or `r#...#"`, not part of an identifier like `striped_r`.
-    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
-        return false;
-    }
-    let hashes = count_hashes(bytes, i + 1);
-    bytes.get(i + 1 + hashes) == Some(&'"')
-}
-
-fn count_hashes(bytes: &[char], mut i: usize) -> usize {
-    let mut n = 0;
-    while bytes.get(i) == Some(&'#') {
-        n += 1;
-        i += 1;
-    }
-    n
-}
-
-fn closes_raw(bytes: &[char], i: usize, hashes: usize) -> bool {
-    (1..=hashes).all(|k| bytes.get(i + k) == Some(&'#'))
-}
-
-/// Marks the lines covered by `#[cfg(test)]` items: from the attribute
-/// through the matching close brace of the item it gates.
-fn mark_test_regions(code: &[String]) -> Vec<bool> {
-    let mut test = vec![false; code.len()];
-    let mut depth = 0usize;
-    let mut region_depth: Option<usize> = None;
-    let mut pending = false;
-
-    for (i, line) in code.iter().enumerate() {
-        if region_depth.is_some() || pending {
-            test[i] = true;
-        }
-        if line.contains("#[cfg(test") {
-            pending = true;
-            test[i] = true;
-        }
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    if pending && region_depth.is_none() {
-                        region_depth = Some(depth);
-                        pending = false;
-                        test[i] = true;
-                    }
-                }
-                '}' => {
-                    if region_depth == Some(depth) {
-                        region_depth = None;
-                    }
-                    depth = depth.saturating_sub(1);
-                }
-                // `#[cfg(test)] use …;` — the attribute gated a
-                // braceless item; the region ends here.
-                ';' if pending && region_depth.is_none() => pending = false,
-                _ => {}
-            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
         }
     }
-    test
-}
-
-/// `needle` appears in `haystack` delimited by non-identifier chars.
-fn contains_word(haystack: &str, needle: &str) -> bool {
-    find_word(haystack, needle).is_some()
-}
-
-fn find_word(haystack: &str, needle: &str) -> Option<usize> {
-    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-    let mut from = 0;
-    while let Some(pos) = haystack[from..].find(needle) {
-        let at = from + pos;
-        let before_ok = at == 0 || !haystack[..at].chars().next_back().is_some_and(is_ident);
-        let after_ok = !haystack[at + needle.len()..]
-            .chars()
-            .next()
-            .is_some_and(is_ident);
-        if before_ok && after_ok {
-            return Some(at);
-        }
-        from = at + needle.len();
-    }
-    None
+    Ok(())
 }
 
 #[cfg(test)]
 mod test {
     use super::*;
 
-    fn report_for(file: &str, text: &str) -> Report {
-        let mut r = Report::default();
-        analyze_file(file, text, &mut r);
-        r
+    fn entry(rel: &str, src: &str) -> FileEntry {
+        let view = lexer::lex(src);
+        let parsed = parser::parse(tokens::tokenize(&view));
+        FileEntry {
+            rel: rel.to_string(),
+            view,
+            parsed,
+        }
     }
 
     #[test]
-    fn lexer_blanks_comments_and_strings() {
-        let v = lex(
-            "let x = \"HashMap\"; // HashMap\nlet y = 'a';\n/* HashMap\nHashMap */ let z = 1;\n",
+    fn allow_scopes_parse() {
+        let view = lexer::lex(
+            "// xtask: allow(panic_path) -- bounds checked above\n\
+             // xtask: allow(panic_path, file) -- GF(256) kernel, bounds by construction\n\
+             // xtask: allow(panic_path, crate) -- nope\n\
+             // xtask: allow(made_up) -- nope\n\
+             // xtask: allow(panic_path)\n",
         );
-        assert!(!v.code[0].contains("HashMap"), "{}", v.code[0]);
-        assert!(!v.code[1].contains('a'));
-        assert!(!v.code[2].contains("HashMap"));
-        assert!(v.code[3].contains("let z"));
-        assert!(!v.code[3].contains("HashMap"));
+        let mut findings = Vec::new();
+        let allows = parse_allows("crates/rlnc/src/x.rs", &view, &mut findings);
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].scope, AllowScope::Line);
+        assert_eq!(allows[1].scope, AllowScope::File);
+        assert_eq!(findings.len(), 3);
+        assert!(findings.iter().all(|f| f.lint == Lint::BadAllow));
     }
 
     #[test]
-    fn lexer_keeps_lifetimes() {
-        let v = lex("impl<'a> Foo<'a> { fn f(&'a self) {} }\n");
-        assert!(v.code[0].contains("<'a>"));
+    fn file_scope_allow_suppresses_everywhere_and_counts() {
+        let mut report = Report::default();
+        let findings = vec![
+            Finding {
+                lint: Lint::PanicPath,
+                file: "f.rs".into(),
+                line: 10,
+                message: String::new(),
+            },
+            Finding {
+                lint: Lint::PanicPath,
+                file: "f.rs".into(),
+                line: 90,
+                message: String::new(),
+            },
+        ];
+        let mut allows = vec![AllowEntry {
+            file: "f.rs".into(),
+            line: 1,
+            lint: Lint::PanicPath,
+            scope: AllowScope::File,
+            justification: "kernel".into(),
+            used: false,
+        }];
+        resolve(findings, &mut allows, &mut report);
+        assert!(report.is_clean());
+        assert!(allows[0].used);
+        assert_eq!(report.suppressed.get(&Lint::PanicPath), Some(&2));
+        assert_eq!(report.counts()["panic_path"], 2);
     }
 
     #[test]
-    fn cfg_test_regions_cover_the_gated_item() {
-        let v = lex("fn a() {}\n#[cfg(test)]\nmod test {\n    fn b() {}\n}\nfn c() {}\n");
-        assert_eq!(v.test, vec![false, true, true, true, true, false]);
+    fn line_scope_allow_reaches_one_line_down_only() {
+        let mut report = Report::default();
+        let findings = vec![Finding {
+            lint: Lint::PanicPath,
+            file: "f.rs".into(),
+            line: 12,
+            message: String::new(),
+        }];
+        let mut allows = vec![AllowEntry {
+            file: "f.rs".into(),
+            line: 10,
+            lint: Lint::PanicPath,
+            scope: AllowScope::Line,
+            justification: "x".into(),
+            used: false,
+        }];
+        resolve(findings, &mut allows, &mut report);
+        assert_eq!(report.findings.len(), 1);
+        assert!(!allows[0].used);
     }
 
     #[test]
-    fn word_boundaries_respected() {
-        assert!(contains_word("use std::collections::HashMap;", "HashMap"));
-        assert!(!contains_word("forbid(unsafe_code)", "unsafe"));
-        assert!(!contains_word("MyHashMapLike", "HashMap"));
+    fn ctx_flags_duplicate_stream_names_and_values() {
+        let entries = vec![
+            entry(
+                "crates/mesh-topology/src/streams.rs",
+                "// xtask: stream-registry\n\
+                 pub const A_STREAM: u64 = 1;\n\
+                 pub const B_STREAM: u64 = 1;\n",
+            ),
+            entry(
+                "crates/mesh-sim/src/channel.rs",
+                "pub const A_STREAM: u64 = 2;\n",
+            ),
+        ];
+        let (ctx, findings) = build_ctx(&entries);
+        assert_eq!(ctx.registry_files, ["crates/mesh-topology/src/streams.rs"]);
+        assert_eq!(ctx.streams.len(), 2);
+        // One duplicate-name finding (A_STREAM redefined), one
+        // duplicate-value finding (B_STREAM == A_STREAM).
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.lint == Lint::StreamRegistry));
     }
 
     #[test]
-    fn seed_args_classified() {
-        assert!(seed_arg_ok("seed"));
-        assert!(seed_arg_ok("run_seed"));
-        assert!(seed_arg_ok("self.seed"));
-        assert!(seed_arg_ok("seed ^ CHANNEL_STREAM"));
-        assert!(seed_arg_ok("seed ^ attempt.wrapping_mul(GEO_STREAM)"));
-        assert!(!seed_arg_ok("12345"));
-        assert!(!seed_arg_ok("seed * 31 + k"));
-        assert!(!seed_arg_ok("k as u64"));
-    }
-
-    #[test]
-    fn engine_crate_classification() {
-        assert!(is_engine_crate("crates/mesh-sim/src/simulator.rs"));
-        assert!(is_engine_crate("crates/scenario/src/sink.rs"));
-        assert!(!is_engine_crate("crates/bench/src/stats.rs"));
-        assert!(!is_engine_crate("crates/gf256/src/wide.rs"));
-        assert!(!is_engine_crate("src/lib.rs"));
-        assert!(!is_engine_crate("examples/quickstart.rs"));
-    }
-
-    #[test]
-    fn forbid_required_everywhere_but_gf256() {
-        assert!(requires_forbid("src/lib.rs"));
-        assert!(requires_forbid("crates/mesh-sim/src/lib.rs"));
-        assert!(requires_forbid("crates/xtask/src/lib.rs"));
-        assert!(!requires_forbid("crates/gf256/src/lib.rs"));
-        assert!(!requires_forbid("crates/mesh-sim/src/simulator.rs"));
-    }
-
-    #[test]
-    fn allow_without_justification_is_a_finding() {
-        let r = report_for(
-            "crates/mesh-sim/src/x.rs",
-            "// xtask: allow(hash_iteration)\nuse std::collections::BTreeMap;\n",
+    fn github_format_is_one_annotation_per_finding() {
+        let report = Report {
+            findings: vec![Finding {
+                lint: Lint::PanicPath,
+                file: "crates/rlnc/src/decoder.rs".into(),
+                line: 7,
+                message: "boom".into(),
+            }],
+            ..Report::default()
+        };
+        let gh = report.render_github();
+        assert_eq!(
+            gh,
+            "::error file=crates/rlnc/src/decoder.rs,line=7,title=xtask panic_path::boom\n"
         );
-        assert_eq!(r.of(Lint::BadAllow).len(), 1);
     }
 
     #[test]
-    fn unknown_allow_lint_is_a_finding() {
-        let r = report_for(
-            "crates/mesh-sim/src/x.rs",
-            "// xtask: allow(no_such_lint) -- why\n",
-        );
-        assert_eq!(r.of(Lint::BadAllow).len(), 1);
-    }
-
-    #[test]
-    fn multiline_partial_cmp_chain_is_caught() {
-        let text = "fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a\n        .partial_cmp(b)\n        .unwrap_or(std::cmp::Ordering::Equal));\n}\n";
-        let r = report_for("crates/mesh-metrics/src/x.rs", text);
-        assert_eq!(r.of(Lint::FloatOrd).len(), 1);
-        assert_eq!(r.of(Lint::FloatOrd)[0].line, 3);
-    }
-
-    #[test]
-    fn safety_comment_above_attribute_counts() {
-        let text = "// SAFETY: caller guarantees the target feature.\n#[target_feature(enable = \"avx2\")]\nunsafe fn f() {}\n";
-        let r = report_for("crates/gf256/src/x.rs", text);
-        assert!(r.of(Lint::UndocumentedUnsafe).is_empty());
-        assert_eq!(r.unsafe_sites.len(), 1);
-        assert_eq!(r.unsafe_sites[0].kind, "fn");
-        assert!(r.unsafe_sites[0]
-            .safety
-            .as_deref()
-            .unwrap()
-            .contains("target feature"));
+    fn json_escapes_quotes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 }

@@ -1,0 +1,192 @@
+//! Tokenizer over the lexer's comment/string-blanked code lines.
+//!
+//! Produces the flat token stream the item parser ([`crate::parser`]) and
+//! the expression lints walk. Because the input already has comments,
+//! strings, and char literals blanked, every brace, bracket, and
+//! identifier in the stream is real code — brace matching and path
+//! scanning need no further escaping logic.
+
+use crate::lexer::FileView;
+
+/// Token classification, as coarse as the lints need.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (`12`, `0xC4A2_2E1C`, `1.5e3`, `4usize`).
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation; multi-char for `::`, `->`, `=>`, `..`, `..=`.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub(crate) struct Token {
+    pub text: String,
+    pub kind: TokKind,
+    pub line: usize,
+}
+
+impl Token {
+    pub fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+}
+
+/// Multi-char punctuation joined into one token, longest first.
+const JOINED: [&str; 5] = ["..=", "::", "->", "=>", ".."];
+
+pub(crate) fn tokenize(view: &FileView) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (lineno, line) in view.code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    kind: TokKind::Ident,
+                    line: lineno + 1,
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                i += 1;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if d == '.'
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && !chars[start..i].contains(&'.')
+                    {
+                        // `1.5`, but not `1..n` and not a second dot.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    kind: TokKind::Num,
+                    line: lineno + 1,
+                });
+                continue;
+            }
+            if c == '\'' {
+                // The lexer blanked char literals; a surviving quote is a
+                // lifetime.
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    kind: TokKind::Lifetime,
+                    line: lineno + 1,
+                });
+                continue;
+            }
+            // Punctuation: join the few multi-char operators the parser
+            // cares about, emit everything else as single chars.
+            let joined = JOINED.iter().find(|op| {
+                op.chars()
+                    .enumerate()
+                    .all(|(k, oc)| chars.get(i + k) == Some(&oc))
+            });
+            match joined {
+                Some(op) => {
+                    out.push(Token {
+                        text: op.to_string(),
+                        kind: TokKind::Punct,
+                        line: lineno + 1,
+                    });
+                    i += op.len();
+                }
+                None => {
+                    out.push(Token {
+                        text: c.to_string(),
+                        kind: TokKind::Punct,
+                        line: lineno + 1,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn toks(src: &str) -> Vec<String> {
+        tokenize(&lex(src)).iter().map(|t| t.text.clone()).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_paths() {
+        assert_eq!(
+            toks("let x = pool::acquire(0xC4A2_2E1C);"),
+            [
+                "let",
+                "x",
+                "=",
+                "pool",
+                "::",
+                "acquire",
+                "(",
+                "0xC4A2_2E1C",
+                ")",
+                ";"
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_and_arrows() {
+        assert_eq!(
+            toks("fn f() -> u8 { v[..] ; w[1..=2]; }"),
+            [
+                "fn", "f", "(", ")", "->", "u8", "{", "v", "[", "..", "]", ";", "w", "[", "1",
+                "..=", "2", "]", ";", "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn float_literal_is_one_token() {
+        assert_eq!(
+            toks("a(1.5e3, 2..4)"),
+            ["a", "(", "1.5e3", ",", "2", "..", "4", ")"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_survive() {
+        assert_eq!(
+            toks("impl<'a> Foo<'a> {}"),
+            ["impl", "<", "'a", ">", "Foo", "<", "'a", ">", "{", "}"]
+        );
+    }
+
+    #[test]
+    fn strings_leave_no_tokens() {
+        assert_eq!(toks("f(\"x.unwrap()\")"), ["f", "(", ")"]);
+    }
+}

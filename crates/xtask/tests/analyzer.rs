@@ -72,6 +72,93 @@ fn missing_forbid_fires_on_the_crate_root() {
 }
 
 #[test]
+fn bad_tree_panic_path_fires_on_the_comparator_unwrap() {
+    let r = bad_report();
+    let lines: Vec<usize> = r.of(Lint::PanicPath).iter().map(|f| f.line).collect();
+    // The float_sort unwrap (28) fires; unwrap_or (34) and the
+    // #[cfg(test)] unwrap (51) do not.
+    assert_eq!(lines, vec![28], "{lines:?}");
+}
+
+#[test]
+fn bad_tree_stream_reference_needs_a_registry() {
+    let r = bad_report();
+    let lines: Vec<usize> = r.of(Lint::StreamRegistry).iter().map(|f| f.line).collect();
+    // CHANNEL_STREAM (24) resolves to no registry module in this tree.
+    assert_eq!(lines, vec![24], "{lines:?}");
+}
+
+#[test]
+fn panic_path_fixture_fires_on_explicit_panics_and_indexing_only() {
+    let r = analyze_root(&fixture("panic_path")).expect("analyze panic_path tree");
+    let findings = r.of(Lint::PanicPath);
+    assert!(
+        findings.iter().all(|f| f.file == "crates/rlnc/src/lib.rs"),
+        "{}",
+        r.render()
+    );
+    let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+    // unwrap, expect, panic!, unreachable!, v[0] — while &v[..], the
+    // #[cfg(test)] module, and tests/it.rs stay exempt.
+    assert_eq!(lines, vec![7, 11, 16, 23, 28], "{lines:?}");
+    // The line allow in lib.rs plus the three sites under kernel.rs's
+    // file-scoped allow.
+    assert_eq!(
+        r.suppressed.get(&Lint::PanicPath),
+        Some(&4),
+        "{}",
+        r.render()
+    );
+    assert!(r.allows.iter().all(|a| a.used));
+}
+
+#[test]
+fn stream_registry_fixture_fires_on_rogue_and_unregistered_streams() {
+    let r = analyze_root(&fixture("stream_registry")).expect("analyze stream_registry tree");
+    let findings = r.of(Lint::StreamRegistry);
+    let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+    // ROGUE_STREAM defined outside the registry (5) and the
+    // unregistered GHOST_STREAM reference (12) fire; the registered
+    // ALPHA_STREAM reference does not.
+    assert_eq!(lines, vec![5, 12], "{lines:?}");
+    assert_eq!(r.suppressed.get(&Lint::StreamRegistry), Some(&1));
+    // Both registered constants are inventoried.
+    assert_eq!(r.stream_registry.len(), 2);
+    assert!(r.stream_registry.contains_key("ALPHA_STREAM"));
+    assert!(r.stream_registry.contains_key("BETA_STREAM"));
+}
+
+#[test]
+fn pool_pairing_fixture_fires_on_the_leak_only() {
+    let r = analyze_root(&fixture("pool_pairing")).expect("analyze pool_pairing tree");
+    let findings = r.of(Lint::PoolPairing);
+    let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+    // Leaky::grab (10) fires; the sibling-released Paired, the
+    // Drop-released Guard, the paired free fn, and the allowed
+    // Transfer::grab do not.
+    assert_eq!(lines, vec![10], "{lines:?}");
+    assert_eq!(r.suppressed.get(&Lint::PoolPairing), Some(&1));
+}
+
+#[test]
+fn must_use_api_fixture_fires_on_unannotated_chainables_only() {
+    let r = analyze_root(&fixture("must_use_api")).expect("analyze must_use_api tree");
+    let findings = r.of(Lint::MustUseApi);
+    let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+    // RunBuilder::k (11) and make_builder (47) fire; the #[must_use]
+    // method, the &Self getter, the Result builder, and the annotated
+    // AnnotatedBuilder type's method do not.
+    assert_eq!(lines, vec![11, 47], "{lines:?}");
+    assert_eq!(r.suppressed.get(&Lint::MustUseApi), Some(&1));
+}
+
+#[test]
+fn ratchet_fixture_has_exactly_one_deliberate_finding() {
+    let r = analyze_root(&fixture("ratchet")).expect("analyze ratchet tree");
+    assert_eq!(r.counts().get("panic_path"), Some(&1), "{}", r.render());
+}
+
+#[test]
 fn allowlist_suppresses_and_every_entry_is_reported() {
     let r = analyze_root(&fixture("allow")).expect("analyze allow fixture tree");
     assert!(
@@ -79,9 +166,9 @@ fn allowlist_suppresses_and_every_entry_is_reported() {
         "all violations are allowlisted:\n{}",
         r.render()
     );
-    // Six used entries: missing_forbid, 3× hash_iteration, wall_clock,
-    // float_ord — plus the deliberately-unused rng_stream one.
-    assert_eq!(r.allows.len(), 7);
+    // Seven used entries: missing_forbid, 3× hash_iteration, wall_clock,
+    // float_ord, panic_path — plus the deliberately-unused rng_stream one.
+    assert_eq!(r.allows.len(), 8);
     let unused: Vec<&str> = r
         .allows
         .iter()
@@ -90,7 +177,7 @@ fn allowlist_suppresses_and_every_entry_is_reported() {
         .collect();
     assert_eq!(unused, vec!["rng_stream"]);
     let rendered = r.render();
-    assert!(rendered.contains("allowlist entries: 7"));
+    assert!(rendered.contains("allowlist entries: 8"));
     assert!(rendered.contains("UNUSED"));
     assert!(rendered.contains("lookup-only cache, never iterated"));
 }

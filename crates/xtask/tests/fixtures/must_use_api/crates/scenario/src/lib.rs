@@ -1,0 +1,49 @@
+//! must_use_api fixture: chainable pub fns returning `Self` or a
+//! `*Builder` by value need #[must_use]; references, Results,
+//! annotated types, and allowed sites do not.
+#![forbid(unsafe_code)]
+
+pub struct RunBuilder {
+    k: usize,
+}
+
+impl RunBuilder {
+    pub fn k(self, k: usize) -> Self {
+        RunBuilder { k }
+    }
+
+    #[must_use]
+    pub fn packets(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn peek(&self) -> &Self {
+        self
+    }
+
+    pub fn build(self) -> Result<usize, String> {
+        Ok(self.k)
+    }
+}
+
+#[must_use]
+pub struct AnnotatedBuilder;
+
+impl AnnotatedBuilder {
+    pub fn step(self) -> Self {
+        self
+    }
+}
+
+pub struct Other;
+
+impl Other {
+    // xtask: allow(must_use_api) -- fixture: suppressed chainable method
+    pub fn chain(self) -> Self {
+        self
+    }
+}
+
+pub fn make_builder() -> RunBuilder {
+    RunBuilder { k: 0 }
+}

@@ -1,0 +1,11 @@
+//! File-scope suppression: one allow covers every site in the file.
+
+// xtask: allow(panic_path, file) -- fixture: whole-file index-arithmetic justification
+
+pub fn all_suppressed(v: &[u8]) -> u8 {
+    v[0].wrapping_add(v[1])
+}
+
+pub fn also_suppressed(v: Option<u8>) -> u8 {
+    v.unwrap()
+}

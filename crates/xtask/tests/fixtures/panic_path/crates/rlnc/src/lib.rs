@@ -1,0 +1,47 @@
+//! panic_path fixture: explicit panics and direct indexing fire in
+//! library code; `[..]`, #[cfg(test)] regions, tests/ files, and
+//! allowed sites do not.
+#![forbid(unsafe_code)]
+
+pub fn fires_unwrap(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn fires_expect(v: Option<u8>) -> u8 {
+    v.expect("invariant")
+}
+
+pub fn fires_panic_macro(x: u8) {
+    if x == 0 {
+        panic!("zero");
+    }
+}
+
+pub fn fires_unreachable(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn fires_indexing(v: &[u8]) -> u8 {
+    v[0]
+}
+
+pub fn range_full_is_fine(v: &[u8]) -> &[u8] {
+    &v[..]
+}
+
+pub fn allowed_unwrap(v: Option<u8>) -> u8 {
+    // xtask: allow(panic_path) -- fixture: invariant justified on the line above
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod test {
+    #[test]
+    fn tests_may_index_and_unwrap() {
+        let v = [1u8];
+        assert_eq!(v[0], Some(1u8).unwrap());
+    }
+}

@@ -1,0 +1,7 @@
+//! Ratchet fixture: exactly one deliberate panic_path finding, so the
+//! ratchet tests can pin counts against a known-dirty tree.
+#![forbid(unsafe_code)]
+
+pub fn regression(v: Option<u8>) -> u8 {
+    v.unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fixture registry: the one module allowed to define stream constants.
+
+// xtask: stream-registry
+
+/// Registered stream A.
+pub const ALPHA_STREAM: u64 = 0x1;
+/// Registered stream B.
+pub const BETA_STREAM: u64 = 0x2;
