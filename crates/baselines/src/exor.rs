@@ -210,11 +210,12 @@ impl ExorFlow {
     }
 }
 
-/// What each node's MAC currently carries (for retry bookkeeping).
+/// A reliable unicast a node has handed to its MAC, with everything
+/// needed to re-queue it on failure or queue drop.
 #[derive(Clone, Copy)]
 enum InFlight {
-    Direct { fi: usize },
-    Done { fi: usize },
+    Direct { fi: usize, batch: u32, seq: u32 },
+    Done { fi: usize, batch: u32 },
 }
 
 /// ExOR for a whole mesh; one instance drives all nodes.
@@ -223,7 +224,12 @@ pub struct ExorAgent {
     topo: Topology,
     flows: Vec<ExorFlow>,
     rr: Vec<usize>,
-    in_flight: Vec<Option<InFlight>>,
+    /// Reliable unicasts each node has handed to the MAC, oldest first.
+    /// A FIFO rather than a slot because a bounded transmit queue may
+    /// poll several frames before the first outcome arrives; unicast
+    /// outcomes come back in poll order (broadcasts report
+    /// [`TxOutcome::Broadcast`] and never enter this FIFO).
+    outstanding: Vec<VecDeque<InFlight>>,
 }
 
 impl ExorAgent {
@@ -234,7 +240,26 @@ impl ExorAgent {
             topo,
             flows: Vec::new(),
             rr: vec![0; n],
-            in_flight: vec![None; n],
+            outstanding: vec![VecDeque::new(); n],
+        }
+    }
+
+    /// Puts a reliable unicast the MAC could not deliver (or the queue
+    /// dropped) back at the head of the queue it was polled from.
+    fn requeue_unicast(&mut self, node: NodeId, inf: InFlight) {
+        match inf {
+            InFlight::Direct { fi, batch, seq } => {
+                let f = &mut self.flows[fi];
+                if !f.halted {
+                    f.nodes[node.0].direct_queue.push_front((batch, seq));
+                }
+            }
+            InFlight::Done { fi, batch } => {
+                let f = &mut self.flows[fi];
+                if !f.halted {
+                    f.nodes[node.0].done_queue.push_front(batch);
+                }
+            }
         }
     }
 
@@ -645,21 +670,17 @@ impl NodeAgent for ExorAgent {
                 }
             }
             TxOutcome::Acked { .. } => {
-                if let Some(inf) = self.in_flight[node.0].take() {
-                    match inf {
-                        InFlight::Direct { fi } => {
-                            self.flows[fi].nodes[node.0].direct_queue.pop_front();
-                        }
-                        InFlight::Done { fi } => {
-                            self.flows[fi].nodes[node.0].done_queue.pop_front();
-                        }
-                    }
+                // The oldest outstanding unicast made it; it was already
+                // removed from its pending queue at poll time.
+                if self.outstanding[node.0].pop_front().is_some() {
                     ctx.mark_backlogged(node);
                 }
             }
             TxOutcome::Failed { .. } => {
-                // Keep queued; try again.
-                self.in_flight[node.0] = None;
+                // Re-queue at the front; try again.
+                if let Some(inf) = self.outstanding[node.0].pop_front() {
+                    self.requeue_unicast(node, inf);
+                }
                 ctx.mark_backlogged(node);
             }
         }
@@ -677,24 +698,35 @@ impl NodeAgent for ExorAgent {
             let ns = &f.nodes[node.0];
             if let Some(&batch) = ns.done_queue.front() {
                 if let Some(nh) = f.to_src[node.0] {
-                    self.in_flight[node.0] = Some(InFlight::Done { fi });
+                    let id = f.id;
+                    // Popped now (not on MAC ack): the frame's fate comes
+                    // back via on_tx_done/on_queue_drop, both of which
+                    // consult the outstanding FIFO.
+                    self.flows[fi].nodes[node.0].done_queue.pop_front();
+                    self.outstanding[node.0].push_back(InFlight::Done { fi, batch });
                     return Some(OutFrame {
                         dst: Some(nh),
                         bytes: 30,
                         bitrate: None,
-                        payload: ExorPayload::BatchDone { flow: f.id, batch },
+                        flow: Some(id),
+                        payload: ExorPayload::BatchDone { flow: id, batch },
                     });
                 }
             }
+            let f = &self.flows[fi];
+            let ns = &f.nodes[node.0];
             if let Some(&(batch, seq)) = ns.direct_queue.front() {
                 if let Some(nh) = f.to_dst[node.0] {
-                    self.in_flight[node.0] = Some(InFlight::Direct { fi });
+                    let id = f.id;
+                    self.flows[fi].nodes[node.0].direct_queue.pop_front();
+                    self.outstanding[node.0].push_back(InFlight::Direct { fi, batch, seq });
                     return Some(OutFrame {
                         dst: Some(nh),
                         bytes: cfg.packet_bytes + cfg.header_extra,
                         bitrate: None,
+                        flow: Some(id),
                         payload: ExorPayload::Direct {
-                            flow: f.id,
+                            flow: id,
                             batch,
                             seq,
                         },
@@ -727,6 +759,7 @@ impl NodeAgent for ExorAgent {
                     dst: None,
                     bytes: cfg.packet_bytes + cfg.header_extra + k,
                     bitrate: None,
+                    flow: Some(f.id),
                     payload: ExorPayload::Data {
                         flow: f.id,
                         batch: ns.batch,
@@ -745,6 +778,7 @@ impl NodeAgent for ExorAgent {
                 dst: None,
                 bytes: 30 + k,
                 bitrate: None,
+                flow: Some(f.id),
                 payload: ExorPayload::Gossip {
                     flow: f.id,
                     batch,
@@ -754,6 +788,43 @@ impl NodeAgent for ExorAgent {
             });
         }
         None
+    }
+
+    fn on_queue_drop(
+        &mut self,
+        node: NodeId,
+        payload: ExorPayload,
+        _cause: mesh_sim::queue::DropCause,
+        ctx: &mut Ctx<'_>,
+    ) {
+        // Reliable unicasts must survive a queue drop: retract the
+        // outstanding entry and re-queue. Dropped broadcasts are just
+        // unheard transmissions; their payloads hold nothing pooled.
+        let removed = match payload {
+            ExorPayload::Direct { flow, batch, seq } => self.flow_index(flow).and_then(|fi| {
+                let out = &mut self.outstanding[node.0];
+                out.iter()
+                    .rposition(|inf| {
+                        matches!(inf, InFlight::Direct { fi: i, batch: b, seq: s }
+                                if *i == fi && *b == batch && *s == seq)
+                    })
+                    .and_then(|pos| out.remove(pos))
+            }),
+            ExorPayload::BatchDone { flow, batch } => self.flow_index(flow).and_then(|fi| {
+                let out = &mut self.outstanding[node.0];
+                out.iter()
+                    .rposition(|inf| {
+                        matches!(inf, InFlight::Done { fi: i, batch: b }
+                            if *i == fi && *b == batch)
+                    })
+                    .and_then(|pos| out.remove(pos))
+            }),
+            ExorPayload::Data { .. } | ExorPayload::Gossip { .. } => None,
+        };
+        if let Some(inf) = removed {
+            self.requeue_unicast(node, inf);
+            ctx.mark_backlogged(node);
+        }
     }
 
     fn on_timer(&mut self, node: NodeId, token: u64, ctx: &mut Ctx<'_>) {

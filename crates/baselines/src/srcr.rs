@@ -17,6 +17,7 @@
 use mesh_metrics::etx::LinkCost;
 use mesh_metrics::EtxTable;
 use mesh_sim::autorate::OnoeConfig;
+use mesh_sim::queue::DropCause;
 use mesh_sim::{Bitrate, Ctx, Frame, NodeAgent, OnoeAutorate, OutFrame, Time, TxOutcome};
 use mesh_topology::{NodeId, Topology};
 use std::collections::{BTreeMap, VecDeque};
@@ -106,8 +107,11 @@ pub struct SrcrAgent {
     flows: Vec<SrcrFlow>,
     /// Per-node round-robin cursor over flows.
     rr: Vec<usize>,
-    /// What each node's MAC currently carries: (flow idx, seq).
-    in_flight_pkt: Vec<Option<(usize, u32)>>,
+    /// Packets each node has handed to the MAC, oldest first:
+    /// `(flow idx, seq)`. A FIFO rather than a slot because a bounded
+    /// transmit queue may poll several frames before the first outcome
+    /// arrives; outcomes come back in poll order.
+    outstanding: Vec<VecDeque<(usize, u32)>>,
     /// Onoe state per (node, nexthop).
     autorate: BTreeMap<(NodeId, NodeId), OnoeAutorate>,
 }
@@ -123,7 +127,7 @@ impl SrcrAgent {
             default_rate,
             flows: Vec::new(),
             rr: vec![0; n],
-            in_flight_pkt: vec![None; n],
+            outstanding: vec![VecDeque::new(); n],
             autorate: BTreeMap::new(),
         }
     }
@@ -261,7 +265,7 @@ impl NodeAgent for SrcrAgent {
     }
 
     fn on_tx_done(&mut self, node: NodeId, outcome: TxOutcome, ctx: &mut Ctx<'_>) {
-        let Some((fi, seq)) = self.in_flight_pkt[node.0].take() else {
+        let Some((fi, seq)) = self.outstanding[node.0].pop_front() else {
             return;
         };
         let (retries, failed) = match outcome {
@@ -334,16 +338,46 @@ impl NodeAgent for SrcrAgent {
             let rate = self.rate_for(node, nh);
             let f = &mut self.flows[fi];
             let seq = f.queues[node.0].pop_front().expect("non-empty queue");
-            self.in_flight_pkt[node.0] = Some((fi, seq));
+            self.outstanding[node.0].push_back((fi, seq));
             self.rr[node.0] = fi + 1;
             return Some(OutFrame {
                 dst: Some(nh),
                 bytes: self.cfg.packet_bytes,
                 bitrate: rate,
+                flow: Some(f.id),
                 payload: SrcrPayload { flow: f.id, seq },
             });
         }
         None
+    }
+
+    fn on_queue_drop(
+        &mut self,
+        node: NodeId,
+        payload: SrcrPayload,
+        _cause: DropCause,
+        ctx: &mut Ctx<'_>,
+    ) {
+        // The transmit queue discarded a packet the MAC never sent:
+        // retract the outstanding entry and account the loss exactly like
+        // a retry-exhausted unicast.
+        let Some(fi) = self.flow_index(payload.flow) else {
+            return;
+        };
+        let out = &mut self.outstanding[node.0];
+        if let Some(pos) = out.iter().rposition(|&(i, s)| i == fi && s == payload.seq) {
+            out.remove(pos);
+        }
+        let f = &mut self.flows[fi];
+        if f.halted {
+            return;
+        }
+        let already = std::mem::replace(&mut f.got[payload.seq as usize], true);
+        if !already {
+            Self::resolve(f, false, ctx.now());
+            let src = f.src;
+            ctx.mark_backlogged(src);
+        }
     }
 }
 

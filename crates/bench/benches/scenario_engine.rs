@@ -8,7 +8,7 @@
 //! work — and measure a whole scenario grid end-to-end.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mesh_sim::{ChannelSpec, Erased, ErasedFlowAgent, SimConfig, Simulator, SEC};
+use mesh_sim::{ChannelSpec, Erased, ErasedFlowAgent, QueueSpec, SimConfig, Simulator, SEC};
 use mesh_topology::{generate, NodeId};
 use more_core::{MoreAgent, MoreConfig};
 use more_scenario::{Scenario, TopologySpec, TrafficModelSpec, TrafficSpec};
@@ -71,6 +71,41 @@ fn bench_channel_models(c: &mut Criterion) {
                 agent.add_flow(1, NodeId(0), NodeId(3), PACKETS);
                 let mut sim =
                     Simulator::with_channel(topo.clone(), SimConfig::default(), &spec, agent, 1);
+                sim.kick(NodeId(0));
+                sim.run_until(600 * SEC, |a: &MoreAgent| a.all_done());
+                black_box(sim.stats.total_tx())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Queue-subsystem cost: the same MORE transfer through
+/// [`Simulator::with_queue`]. Unbounded installs no queue layer at all —
+/// the transmit path must stay at pre-queue speed (the ≤ 2% gate the
+/// committed `BENCH_engine.json` tracks) — while DropTail and CHOKe pay
+/// for the pump loop, classification, and (for CHOKe) the random peek.
+fn bench_queue_disciplines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_engine/queue");
+    let topo = line();
+    let specs = [
+        ("unbounded", QueueSpec::Unbounded),
+        ("droptail", QueueSpec::drop_tail(16)),
+        ("choke", QueueSpec::choke(16)),
+    ];
+    for (name, spec) in specs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut agent = MoreAgent::new(topo.clone(), MoreConfig::default());
+                agent.add_flow(1, NodeId(0), NodeId(3), PACKETS);
+                let mut sim = Simulator::with_queue(
+                    topo.clone(),
+                    SimConfig::default(),
+                    &ChannelSpec::Static,
+                    &spec,
+                    agent,
+                    1,
+                );
                 sim.kick(NodeId(0));
                 sim.run_until(600 * SEC, |a: &MoreAgent| a.all_done());
                 black_box(sim.stats.total_tx())
@@ -195,6 +230,7 @@ criterion_group!(
     scenario_engine,
     bench_direct_dispatch,
     bench_channel_models,
+    bench_queue_disciplines,
     bench_traffic_models,
     bench_scenario_grid,
     bench_sink_pipeline

@@ -22,7 +22,9 @@
 
 use more_bench::common::{banner, threads, Args};
 use more_scenario::sink::{Aggregate, Collect, CsvAppend, JsonLines, Tee};
-use more_scenario::{RunSummary, Scenario, ScenarioBuilder, Sweep, TopologySpec, TrafficSpec};
+use more_scenario::{
+    QueueSpec, RunSummary, Scenario, ScenarioBuilder, Sweep, TopologySpec, TrafficSpec,
+};
 use std::time::Instant;
 
 /// The benchmark grid: 2 protocols × 2 batch sizes × `seeds` seeds over
@@ -96,6 +98,14 @@ fn bench(args: &Args) {
             let mut sink = JsonLines::create(path.to_str().expect("utf-8 temp path"))
                 .expect("open temp JSONL");
             b.run_with_sink(&mut sink)
+        }),
+        // The bounded queueing path, for comparison against `collect`
+        // (the same grid on the unbounded default): the gap is the cost
+        // of the queue pump, not of the subsystem existing — unbounded
+        // runs install no queue layer and must stay at pre-queue speed.
+        measure("droptail", seeds, |b| {
+            let mut sink = Collect::new();
+            b.queue(QueueSpec::drop_tail(16)).run_with_sink(&mut sink)
         }),
     ];
 

@@ -1,0 +1,104 @@
+//! Jain's fairness index over per-flow allocations.
+//!
+//! `J(x) = (Σ xᵢ)² / (n · Σ xᵢ²)` — 1.0 when every flow gets the same
+//! share, `1/n` when one flow starves the rest (Jain, Chiu & Hawe 1984).
+//! Used by the queueing subsystem to compare disciplines under overload:
+//! DropTail lets aggressive flows lock out the queue while CHOKe's
+//! flow-matched drops push the index back toward 1.
+
+use crate::EPS;
+
+/// Jain's fairness index of `allocations` (typically per-flow
+/// throughputs in packets per second).
+///
+/// Total functions only: the edge cases that would produce `0/0` are
+/// pinned to well-defined values instead of `NaN`, so downstream
+/// aggregation (means over sweep cells, CSV plotting) never poisons.
+///
+/// * An empty allocation set is vacuously fair: `1.0`.
+/// * All-zero allocations (every flow starved equally) are fair: `1.0`.
+/// * Non-finite entries are ignored; negative entries clamp to `0.0`
+///   (throughput cannot be negative — a negative input is a measurement
+///   bug, not a starved flow that should drag the index down twice).
+///
+/// ```
+/// use mesh_metrics::fairness::jain;
+///
+/// assert_eq!(jain(&[]), 1.0);
+/// assert_eq!(jain(&[0.0, 0.0]), 1.0);
+/// assert_eq!(jain(&[5.0, 5.0, 5.0]), 1.0);
+/// // One of four flows hogs everything: J = 1/4.
+/// assert!((jain(&[9.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+/// ```
+pub fn jain(allocations: &[f64]) -> f64 {
+    let xs = allocations
+        .iter()
+        .filter(|x| x.is_finite())
+        .map(|&x| x.max(0.0));
+    let (n, sum, sum_sq) = xs.fold((0usize, 0.0f64, 0.0f64), |(n, s, sq), x| {
+        (n + 1, s + x, sq + x * x)
+    });
+    if n == 0 || sum_sq <= EPS {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+
+    #[test]
+    fn equal_shares_are_perfectly_fair() {
+        assert_eq!(jain(&[3.0]), 1.0);
+        assert!((jain(&[7.5, 7.5, 7.5, 7.5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_scores_one_over_n() {
+        for n in 2..=8usize {
+            let mut v = vec![0.0; n];
+            v[0] = 42.0;
+            assert!(
+                (jain(&v) - 1.0 / n as f64).abs() < 1e-12,
+                "n={n}: {}",
+                jain(&v)
+            );
+        }
+    }
+
+    #[test]
+    fn index_is_scale_invariant() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert!((jain(&a) - jain(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_all_zero_flow_sets_are_fair_not_nan() {
+        // The 0/0 corners: a run where no flow moved anything (deep
+        // overload, tiny deadline) must not emit NaN into the records.
+        assert_eq!(jain(&[]), 1.0);
+        assert_eq!(jain(&[0.0]), 1.0);
+        assert_eq!(jain(&[0.0, 0.0, 0.0]), 1.0);
+        assert!(jain(&[0.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn hostile_inputs_never_poison() {
+        // Non-finite entries are measurement artifacts, not allocations.
+        assert!(jain(&[f64::NAN, 1.0, 1.0]).is_finite());
+        assert_eq!(jain(&[f64::NAN, 1.0, 1.0]), 1.0);
+        assert_eq!(jain(&[f64::INFINITY, f64::NEG_INFINITY]), 1.0);
+        assert!(jain(&[f64::NAN]).is_finite());
+        // Negatives clamp to zero rather than inflating (Σx)² weirdly.
+        let clamped = jain(&[-5.0, 10.0]);
+        assert!((clamped - 0.5).abs() < 1e-12, "{clamped}");
+    }
+
+    #[test]
+    fn partial_starvation_lands_between_the_extremes() {
+        let j = jain(&[10.0, 10.0, 1.0, 1.0]);
+        assert!(j > 0.25 && j < 1.0, "{j}");
+    }
+}

@@ -17,12 +17,16 @@
 //!   equivalence between the flow method and the EOTX method.
 //! * [`gap`] — the ETX-order vs EOTX-order total-cost gap of §5.7
 //!   (Proposition 6).
+//! * [`fairness`] — Jain's fairness index over per-flow throughputs,
+//!   used by the queueing subsystem to compare disciplines under
+//!   overload.
 
 #![forbid(unsafe_code)]
 
 pub mod credits;
 pub mod eotx;
 pub mod etx;
+pub mod fairness;
 pub mod flow;
 pub mod gap;
 

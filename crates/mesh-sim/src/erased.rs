@@ -23,6 +23,7 @@
 //! `Rc` is unwrapped when the engine really held the last reference) so
 //! pooled buffers flow back to their pool across the type boundary too.
 
+use crate::queue::DropCause;
 use crate::{Ctx, Frame, NodeAgent, OutFrame, Time, TxOutcome};
 use mesh_topology::NodeId;
 use std::any::Any;
@@ -135,6 +136,14 @@ pub trait ErasedFlowAgent {
     fn poll_tx(&mut self, node: NodeId, ctx: &mut Ctx<'_>) -> Option<OutFrame<DynPayload>>;
     /// [`NodeAgent::on_timer`], unchanged.
     fn on_timer(&mut self, node: NodeId, token: u64, ctx: &mut Ctx<'_>);
+    /// [`NodeAgent::on_queue_drop`] over the erased payload.
+    fn on_queue_drop(
+        &mut self,
+        node: NodeId,
+        payload: DynPayload,
+        cause: DropCause,
+        ctx: &mut Ctx<'_>,
+    );
     /// [`NodeAgent::recycle`] over the erased payload.
     fn recycle(&mut self, payload: DynPayload);
     /// [`FlowAgent::flows_done`], unchanged.
@@ -187,12 +196,29 @@ where
             dst: f.dst,
             bytes: f.bytes,
             bitrate: f.bitrate,
+            flow: f.flow,
             payload: Rc::new(f.payload) as DynPayload,
         })
     }
 
     fn on_timer(&mut self, node: NodeId, token: u64, ctx: &mut Ctx<'_>) {
         self.0.on_timer(node, token, ctx);
+    }
+
+    fn on_queue_drop(
+        &mut self,
+        node: NodeId,
+        payload: DynPayload,
+        cause: DropCause,
+        ctx: &mut Ctx<'_>,
+    ) {
+        // A queue-dropped frame never reached the air, so the engine's
+        // `Rc` is normally the sole reference; clone defensively if the
+        // concrete agent kept one.
+        if let Ok(rc) = payload.downcast::<A::Payload>() {
+            let p = Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone());
+            self.0.on_queue_drop(node, p, cause, ctx);
+        }
     }
 
     fn recycle(&mut self, payload: DynPayload) {
@@ -251,6 +277,16 @@ impl NodeAgent for Box<dyn ErasedFlowAgent> {
 
     fn on_timer(&mut self, node: NodeId, token: u64, ctx: &mut Ctx<'_>) {
         (**self).on_timer(node, token, ctx);
+    }
+
+    fn on_queue_drop(
+        &mut self,
+        node: NodeId,
+        payload: DynPayload,
+        cause: DropCause,
+        ctx: &mut Ctx<'_>,
+    ) {
+        (**self).on_queue_drop(node, payload, cause, ctx);
     }
 
     fn recycle(&mut self, payload: DynPayload) {
@@ -321,6 +357,7 @@ mod test {
                 dst: None,
                 bytes: 200,
                 bitrate: None,
+                flow: None,
                 payload: 7,
             })
         }

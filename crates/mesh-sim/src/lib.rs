@@ -38,6 +38,7 @@ pub mod autorate;
 pub mod channel;
 pub mod erased;
 pub mod medium;
+pub mod queue;
 pub mod simulator;
 pub mod stats;
 
@@ -45,6 +46,7 @@ pub use autorate::OnoeAutorate;
 pub use channel::{ChannelModel, ChannelSpec};
 pub use erased::{DynPayload, Erased, ErasedFlowAgent, FlowAgent, FlowDesc, FlowProgressView};
 pub use medium::Medium;
+pub use queue::{AimdConfig, AimdPacer, DropCause, QueueDiscipline, QueueSpec, QueueVerdict};
 pub use simulator::{Ctx, Simulator, TrafficAction};
 pub use stats::SimStats;
 
@@ -181,6 +183,12 @@ pub struct OutFrame<P> {
     pub bytes: usize,
     /// Bit-rate override; `None` uses [`SimConfig::bitrate`].
     pub bitrate: Option<Bitrate>,
+    /// The protocol-level flow this frame serves, when it serves one.
+    /// A bounded [`queue::QueueDiscipline`] classifies frames by this id
+    /// (CHOKe's fairness matching, per-flow drop counters, source
+    /// pacing); `None` marks flow-less control traffic, which is bucketed
+    /// per sending node and never matches a data flow.
+    pub flow: Option<u32>,
     /// Protocol-defined contents, delivered verbatim to receivers.
     pub payload: P,
 }
@@ -235,10 +243,35 @@ pub trait NodeAgent {
     /// The MAC at `node` won a transmit opportunity; return a frame or
     /// `None` to go idle (the MAC will poll again after
     /// [`Ctx::mark_backlogged`]).
+    ///
+    /// With a bounded [`queue::QueueSpec`] configured, the engine may
+    /// poll several frames back-to-back to fill the node's transmit
+    /// queue, so more than one polled frame can be outstanding at once.
+    /// Outcomes are reported in poll order for frames that reach the
+    /// air ([`NodeAgent::on_tx_done`]), while queue drops are reported
+    /// out of band with the frame's payload
+    /// ([`NodeAgent::on_queue_drop`]). Agents tracking in-flight frames
+    /// must therefore keep a FIFO per node, not a single slot.
     fn poll_tx(&mut self, node: NodeId, ctx: &mut Ctx<'_>) -> Option<OutFrame<Self::Payload>>;
 
     /// A timer set via [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, _node: NodeId, _token: u64, _ctx: &mut Ctx<'_>) {}
+
+    /// A frame previously handed out by [`NodeAgent::poll_tx`] was
+    /// dropped by `node`'s bounded transmit queue before reaching the
+    /// air (never called under [`queue::QueueSpec::Unbounded`]). The
+    /// payload is handed back so the agent can account the loss and
+    /// reclaim buffers; the default treats it like an unheard broadcast
+    /// and forwards the payload to [`NodeAgent::recycle`].
+    fn on_queue_drop(
+        &mut self,
+        _node: NodeId,
+        payload: Self::Payload,
+        _cause: queue::DropCause,
+        _ctx: &mut Ctx<'_>,
+    ) {
+        self.recycle(payload);
+    }
 
     /// The simulator is done with a frame's payload: the broadcast left
     /// the air and every receiver has been served. If the agent's payload

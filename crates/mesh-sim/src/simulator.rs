@@ -26,6 +26,9 @@
 use crate::channel::{ChannelModel, ChannelSpec};
 use crate::erased::{FlowAgent, FlowDesc};
 use crate::medium::{Medium, Transmission};
+use crate::queue::{
+    AimdConfig, AimdPacer, DropCause, QueueDiscipline, QueueSpec, QueueVerdict, QUEUE_STREAM,
+};
 use crate::stats::SimStats;
 use crate::{Frame, NodeAgent, OutFrame, SimConfig, Time, TxOutcome};
 use mesh_topology::{NodeId, Topology};
@@ -33,7 +36,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// What the engine schedules.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -123,6 +126,41 @@ enum InFlight<P> {
     MacAck { to: NodeId },
 }
 
+/// One node's bounded transmit queue: the engine-side frame FIFO plus
+/// the discipline mirroring it (see [`crate::queue`]).
+struct NodeQueue<P> {
+    frames: VecDeque<OutFrame<P>>,
+    disc: Box<dyn QueueDiscipline>,
+}
+
+/// The queue subsystem, present only for bounded [`QueueSpec`]s — under
+/// [`QueueSpec::Unbounded`] the engine keeps the historical
+/// one-poll-per-opportunity path and this struct is never built, which
+/// is what makes the default byte-identical to the pre-queue engine.
+struct QueueLayer<P> {
+    nodes: Vec<NodeQueue<P>>,
+    /// AQM randomness, decorrelated from the main stream
+    /// (`seed ^ QUEUE_STREAM`).
+    rng: ChaCha8Rng,
+    /// AIMD pacers for opted-in flows, keyed by protocol flow id.
+    pacers: BTreeMap<u32, AimdPacer>,
+    /// Each paced flow's source node (pacing gates only the source).
+    pacer_src: BTreeMap<u32, NodeId>,
+    /// When set, every flow the traffic layer starts mid-run is paced.
+    auto_pace: Option<AimdConfig>,
+}
+
+/// What the queue layer produced for a transmit opportunity.
+enum Pumped<P> {
+    /// Head-of-line frame, cleared to transmit.
+    Frame(OutFrame<P>),
+    /// Nothing queued and the protocol has nothing to say: go idle.
+    Empty,
+    /// The head frame belongs to a paced flow whose gate is closed;
+    /// retry the attempt at this instant.
+    Deferred(Time),
+}
+
 /// The discrete-event simulator.
 ///
 /// Generic over the protocol agent `A`; see the crate docs for the
@@ -159,6 +197,8 @@ pub struct Simulator<A: NodeAgent> {
     scratch_kicks: Vec<NodeId>,
     /// Scratch for the per-transmission receiver set.
     scratch_receivers: Vec<NodeId>,
+    /// Bounded per-node transmit queues; `None` = unbounded (legacy path).
+    queues: Option<QueueLayer<A::Payload>>,
     /// Counters accumulated over the run.
     pub stats: SimStats,
 }
@@ -187,6 +227,103 @@ impl<A: NodeAgent> Simulator<A> {
     ) -> Self {
         let channel = spec.build(&topo, seed);
         Simulator::with_channel_model(topo, cfg, channel, agent, seed)
+    }
+
+    /// Builds a simulator with both the channel and the transmit-queue
+    /// policy configured (see [`crate::queue`]). A run is a pure
+    /// function of `(topology, agent, seed, channel, queue)`;
+    /// [`QueueSpec::Unbounded`] makes this identical to
+    /// [`Simulator::with_channel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when either spec is invalid (see [`ChannelSpec::validate`]
+    /// and [`QueueSpec::validate`]).
+    pub fn with_queue(
+        topo: Topology,
+        cfg: SimConfig,
+        spec: &ChannelSpec,
+        queue: &QueueSpec,
+        agent: A,
+        seed: u64,
+    ) -> Self {
+        let mut sim = Simulator::with_channel(topo, cfg, spec, agent, seed);
+        sim.install_queue(queue, seed);
+        sim
+    }
+
+    fn install_queue(&mut self, spec: &QueueSpec, seed: u64) {
+        if spec.is_unbounded() {
+            return;
+        }
+        let nodes = (0..self.topo.n())
+            .filter_map(|_| {
+                spec.build_node().map(|disc| NodeQueue {
+                    frames: VecDeque::new(),
+                    disc,
+                })
+            })
+            .collect();
+        self.queues = Some(QueueLayer {
+            nodes,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ QUEUE_STREAM),
+            pacers: BTreeMap::new(),
+            pacer_src: BTreeMap::new(),
+            auto_pace: None,
+        });
+    }
+
+    /// Opts flow `flow` (the protocol's flow id) into AIMD source
+    /// pacing: dequeues of its frames at `src` are rate-limited, and
+    /// queue losses of its frames anywhere multiplicatively decrease
+    /// the rate (see [`crate::queue::AimdPacer`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no bounded queue is configured (pacing gates the
+    /// transmit queue, so it requires [`Simulator::with_queue`]) or
+    /// when `cfg` is invalid.
+    pub fn pace_flow(&mut self, flow: u32, src: NodeId, cfg: AimdConfig) {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid AimdConfig: {e}"));
+        let Some(layer) = self.queues.as_mut() else {
+            panic!("source pacing requires a bounded QueueSpec (use Simulator::with_queue)");
+        };
+        layer.pacers.insert(flow, AimdPacer::new(cfg));
+        layer.pacer_src.insert(flow, src);
+    }
+
+    /// Like [`Simulator::pace_flow`], but also paces every flow the
+    /// traffic layer starts mid-run (dynamic arrivals are assigned
+    /// sequential flow ids, index + 1, matching the registry-built
+    /// protocols).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Simulator::pace_flow`].
+    pub fn pace_all_flows(&mut self, cfg: AimdConfig) {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid AimdConfig: {e}"));
+        let Some(layer) = self.queues.as_mut() else {
+            panic!("source pacing requires a bounded QueueSpec (use Simulator::with_queue)");
+        };
+        layer.auto_pace = Some(cfg);
+    }
+
+    /// Current transmit-queue depth at `node` (0 when unbounded).
+    pub fn queue_depth(&self, node: NodeId) -> usize {
+        self.queues
+            .as_ref()
+            .and_then(|l| l.nodes.get(node.0))
+            .map_or(0, |q| q.frames.len())
+    }
+
+    /// Current AIMD pacing rate of `flow`, if it is paced.
+    pub fn pacer_rate(&self, flow: u32) -> Option<f64> {
+        self.queues
+            .as_ref()
+            .and_then(|l| l.pacers.get(&flow))
+            .map(AimdPacer::rate_pps)
     }
 
     /// Builds a simulator over a caller-constructed channel model — the
@@ -221,6 +358,7 @@ impl<A: NodeAgent> Simulator<A> {
             scratch_timers: Vec::new(),
             scratch_kicks: Vec::new(),
             scratch_receivers: Vec::new(),
+            queues: None,
             stats: SimStats::new(n),
         }
     }
@@ -383,17 +521,33 @@ impl<A: NodeAgent> Simulator<A> {
             self.push(busy_end + delay, EventKind::TryTx { node });
             return;
         }
-        // Need a frame: a retained unicast retry, or ask the protocol.
+        // Need a frame: a retained unicast retry, or ask the protocol —
+        // directly (unbounded, the historical path) or through the
+        // node's bounded transmit queue.
         if self.current[node.0].is_none() {
-            let mut ctx = Ctx {
-                now: self.now,
-                rng: &mut self.rng,
-                timers: std::mem::take(&mut self.scratch_timers),
-                kicks: std::mem::take(&mut self.scratch_kicks),
+            let polled = if self.queues.is_some() {
+                match self.pump_queue(node) {
+                    Pumped::Frame(frame) => Some(frame),
+                    Pumped::Empty => None,
+                    Pumped::Deferred(at) => {
+                        // Pacer gate closed: stay Waiting and retry when
+                        // the flow's inter-packet gap elapses.
+                        self.push(at, EventKind::TryTx { node });
+                        return;
+                    }
+                }
+            } else {
+                let mut ctx = Ctx {
+                    now: self.now,
+                    rng: &mut self.rng,
+                    timers: std::mem::take(&mut self.scratch_timers),
+                    kicks: std::mem::take(&mut self.scratch_kicks),
+                };
+                let polled = self.agent.poll_tx(node, &mut ctx);
+                let Ctx { timers, kicks, .. } = ctx;
+                self.apply_ctx(timers, kicks);
+                polled
             };
-            let polled = self.agent.poll_tx(node, &mut ctx);
-            let Ctx { timers, kicks, .. } = ctx;
-            self.apply_ctx(timers, kicks);
             match polled {
                 Some(frame) => {
                     self.current[node.0] = Some(CurrentTx {
@@ -434,6 +588,110 @@ impl<A: NodeAgent> Simulator<A> {
         self.stats.tx_frames[node.0] += 1;
         self.stats.airtime[node.0] += air;
         self.push(self.now + air, EventKind::TxEnd { id });
+    }
+
+    /// Runs one transmit opportunity at `node` through its bounded
+    /// queue: pump the protocol's pending frames in, then serve the
+    /// head-of-line frame (unless its flow's pacer gate is closed).
+    ///
+    /// The fill loop stops when the protocol has nothing to send *or*
+    /// on the first verdict that discards the arriving frame. Stopping
+    /// at a drop is what bounds the loop: a dropped arrival is the
+    /// protocol's loss signal for this opportunity, and some sources
+    /// (MORE's coder) can otherwise produce frames indefinitely.
+    fn pump_queue(&mut self, node: NodeId) -> Pumped<A::Payload> {
+        let Some(mut layer) = self.queues.take() else {
+            return Pumped::Empty; // caller checked `queues.is_some()`
+        };
+        let QueueLayer {
+            nodes,
+            rng: qrng,
+            pacers,
+            pacer_src,
+            ..
+        } = &mut layer;
+        let mut ctx = Ctx {
+            now: self.now,
+            rng: &mut self.rng,
+            timers: std::mem::take(&mut self.scratch_timers),
+            kicks: std::mem::take(&mut self.scratch_kicks),
+        };
+        let result = if let Some(q) = nodes.get_mut(node.0) {
+            // Fill: move protocol frames into the queue until it has
+            // nothing more or the discipline discards an arrival.
+            while let Some(frame) = self.agent.poll_tx(node, &mut ctx) {
+                let key = q.disc.classify(node, frame.flow);
+                match q.disc.offer(key, self.now, qrng) {
+                    QueueVerdict::Accept => {
+                        q.frames.push_back(frame);
+                        if let Some(hw) = self.stats.queue_depth_hw.get_mut(node.0) {
+                            *hw = (*hw).max(q.frames.len());
+                        }
+                    }
+                    QueueVerdict::DropIncoming(cause) => {
+                        self.stats.count_queue_drop(node.0, frame.flow, cause);
+                        if let Some(p) = frame.flow.and_then(|f| pacers.get_mut(&f)) {
+                            p.on_loss(self.now);
+                        }
+                        self.agent
+                            .on_queue_drop(node, frame.payload, cause, &mut ctx);
+                        break;
+                    }
+                    QueueVerdict::DropMatched { index } => {
+                        // CHOKe: the arrival and the matched queued frame
+                        // both go. One congestion event for the pacer (the
+                        // matched pair shares a flow key), two drop counts.
+                        let cause = DropCause::FlowMatch;
+                        self.stats.count_queue_drop(node.0, frame.flow, cause);
+                        if let Some(p) = frame.flow.and_then(|f| pacers.get_mut(&f)) {
+                            p.on_loss(self.now);
+                        }
+                        if let Some(victim) = q.frames.remove(index) {
+                            self.stats.count_queue_drop(node.0, victim.flow, cause);
+                            self.agent
+                                .on_queue_drop(node, victim.payload, cause, &mut ctx);
+                        }
+                        self.agent
+                            .on_queue_drop(node, frame.payload, cause, &mut ctx);
+                        break;
+                    }
+                }
+            }
+            // Serve: head-of-line frame, gated by its flow's pacer when
+            // this node is the paced source.
+            match q.frames.front().map(|h| h.flow) {
+                None => Pumped::Empty,
+                Some(flow) => {
+                    let mut deferred = None;
+                    if let Some(f) = flow {
+                        if pacer_src.get(&f) == Some(&node) {
+                            if let Some(p) = pacers.get_mut(&f) {
+                                match p.gate(self.now) {
+                                    Some(release) => deferred = Some(release),
+                                    None => p.on_send(self.now),
+                                }
+                            }
+                        }
+                    }
+                    match deferred {
+                        Some(at) => Pumped::Deferred(at),
+                        None => {
+                            q.disc.dequeue(self.now);
+                            match q.frames.pop_front() {
+                                Some(frame) => Pumped::Frame(frame),
+                                None => Pumped::Empty, // unreachable: front() was Some
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            Pumped::Empty
+        };
+        let Ctx { timers, kicks, .. } = ctx;
+        self.queues = Some(layer);
+        self.apply_ctx(timers, kicks);
+        result
     }
 
     fn account_concurrency(&mut self, node: NodeId, air: Time) {
@@ -679,7 +937,12 @@ impl<A: FlowAgent> Simulator<A> {
             TrafficAction::Start(desc) => {
                 self.pending_starts -= 1;
                 let src = desc.src;
-                self.agent.add_flow(&desc);
+                let index = self.agent.add_flow(&desc);
+                // Registry-built protocols assign flow id = index + 1,
+                // so dynamic arrivals can be auto-paced by id.
+                if let Some(cfg) = self.queues.as_ref().and_then(|l| l.auto_pace) {
+                    self.pace_flow(index as u32 + 1, src, cfg);
+                }
                 self.kick_at(src, self.now);
             }
             TrafficAction::Stop(index) => self.agent.end_flow(index),

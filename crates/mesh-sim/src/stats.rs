@@ -1,6 +1,8 @@
 //! Counters the experiment harnesses read after a run.
 
+use crate::queue::DropCause;
 use crate::Time;
+use std::collections::BTreeMap;
 
 /// Aggregate and per-node statistics for one simulation run.
 #[derive(Clone, Debug, Default)]
@@ -27,6 +29,21 @@ pub struct SimStats {
     pub concurrent_airtime: Time,
     /// Total events processed.
     pub events: u64,
+    /// Highest transmit-queue depth each node ever reached (all zero
+    /// under [`crate::queue::QueueSpec::Unbounded`]).
+    pub queue_depth_hw: Vec<usize>,
+    /// Frames dropped at each node's transmit queue, all causes.
+    pub queue_drops: Vec<u64>,
+    /// Queue drops from arriving at a full queue (tail drop).
+    pub queue_drops_overflow: u64,
+    /// Queue drops from RED/CHOKe early marking.
+    pub queue_drops_early: u64,
+    /// Queue drops from CHOKe flow matching (both victims counted).
+    pub queue_drops_match: u64,
+    /// Queue drops per protocol flow id (frames with
+    /// [`crate::OutFrame::flow`] set); flow-less control frames are not
+    /// listed here but are still counted in the totals above.
+    pub queue_drops_by_flow: BTreeMap<u32, u64>,
 }
 
 impl SimStats {
@@ -37,8 +54,30 @@ impl SimStats {
             rx_frames: vec![0; n],
             tx_mac_acks: vec![0; n],
             airtime: vec![0; n],
+            queue_depth_hw: vec![0; n],
+            queue_drops: vec![0; n],
             ..Default::default()
         }
+    }
+
+    /// Records a queue drop of `flow` (if any) at `node` for `cause`.
+    pub(crate) fn count_queue_drop(&mut self, node: usize, flow: Option<u32>, cause: DropCause) {
+        if let Some(d) = self.queue_drops.get_mut(node) {
+            *d += 1;
+        }
+        match cause {
+            DropCause::Overflow => self.queue_drops_overflow += 1,
+            DropCause::Early => self.queue_drops_early += 1,
+            DropCause::FlowMatch => self.queue_drops_match += 1,
+        }
+        if let Some(f) = flow {
+            *self.queue_drops_by_flow.entry(f).or_insert(0) += 1;
+        }
+    }
+
+    /// Total frames dropped at transmit queues across the network.
+    pub fn total_queue_drops(&self) -> u64 {
+        self.queue_drops.iter().sum()
     }
 
     /// Total data-frame transmissions across the network.

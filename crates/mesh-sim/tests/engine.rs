@@ -30,6 +30,7 @@ impl NodeAgent for Broadcaster {
             dst: None,
             bytes: 1500,
             bitrate: None,
+            flow: None,
             payload: self.remaining,
         })
     }
@@ -106,6 +107,7 @@ impl NodeAgent for Unicaster {
             dst: Some(NodeId(1)),
             bytes: 1500,
             bitrate: None,
+            flow: None,
             payload: (),
         })
     }
@@ -176,6 +178,7 @@ impl NodeAgent for TwoSenders {
                 dst: None,
                 bytes: 1500,
                 bitrate: None,
+                flow: None,
                 payload: (),
             })
         } else {

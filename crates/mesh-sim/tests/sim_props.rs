@@ -54,6 +54,7 @@ impl NodeAgent for Mixed {
                     dst: Some(d),
                     bytes: 400,
                     bitrate: None,
+                    flow: None,
                     payload: 0,
                 });
             }
@@ -63,6 +64,7 @@ impl NodeAgent for Mixed {
                 dst: None,
                 bytes: 800,
                 bitrate: None,
+                flow: None,
                 payload: 1,
             });
         }

@@ -40,6 +40,13 @@ pub const PROBE_STREAM: u64 = 0x9B0B_E57A_11E5_7331;
 /// Consumed by `scenario::traffic`.
 pub const TRAFFIC_STREAM: u64 = 0x7AFF_1C00_5EED_F10B;
 
+/// XOR'd into the run seed to give queue-discipline randomness (RED's
+/// marking draws, CHOKe's random peek) its own ChaCha8 stream, so AQM
+/// decisions never perturb the engine's main stream — which is what
+/// keeps `QueueSpec::Unbounded` runs byte-identical to the pre-queue
+/// engine. Consumed by `mesh_sim::queue`.
+pub const QUEUE_STREAM: u64 = 0x51EE_7AB1_E0DD_90C3;
+
 /// Stream constant decorrelating testbed-generation retries from the
 /// run seed (`crate::generate::testbed`).
 pub const TESTBED_ATTEMPT_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;

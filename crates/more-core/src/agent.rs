@@ -8,10 +8,12 @@ use crate::header::MorePayload;
 use crate::{native_byte, ForwarderMetric, MoreConfig};
 use mesh_metrics::etx::LinkCost;
 use mesh_metrics::{EtxTable, ForwarderPlan};
+use mesh_sim::queue::DropCause;
 use mesh_sim::{Ctx, Frame, NodeAgent, OutFrame, TxOutcome};
 use mesh_topology::{NodeId, Topology};
 use rand::Rng;
 use rlnc::{pool, CodedPacket, Decoder, ForwarderBuffer, InnovationTracker, SourceEncoder};
+use std::collections::VecDeque;
 
 /// Size of a batch-ACK frame on the air (type + ids + MAC framing).
 const ACK_BYTES: usize = 30;
@@ -25,8 +27,11 @@ pub struct MoreAgent {
     /// Per-node round-robin cursor over flows (§3.3.3: "the node selects a
     /// backlogged flow by round-robin").
     rr: Vec<usize>,
-    /// Which flow's batch ACK each node's MAC currently holds.
-    ack_in_flight: Vec<Option<usize>>,
+    /// Batch ACKs each node has handed to the MAC, oldest first, as
+    /// `(flow index, batch)`. A FIFO rather than a slot because a
+    /// bounded transmit queue may poll several frames before the first
+    /// outcome arrives; outcomes come back in poll order.
+    ack_outstanding: Vec<VecDeque<(usize, u32)>>,
 }
 
 impl MoreAgent {
@@ -38,7 +43,7 @@ impl MoreAgent {
             topo,
             flows: Vec::new(),
             rr: vec![0; n],
-            ack_in_flight: vec![None; n],
+            ack_outstanding: vec![VecDeque::new(); n],
         }
     }
 
@@ -334,15 +339,19 @@ impl NodeAgent for MoreAgent {
         match outcome {
             TxOutcome::Broadcast => {}
             TxOutcome::Acked { .. } => {
-                if let Some(fi) = self.ack_in_flight[node.0].take() {
-                    self.flows[fi].nodes[node.0].pending_acks.pop_front();
-                }
+                // The oldest outstanding ACK made it; it was already
+                // removed from pending_acks at poll time.
+                self.ack_outstanding[node.0].pop_front();
             }
             TxOutcome::Failed { .. } => {
-                // Batch ACKs are delivered reliably: keep the ACK queued
+                // Batch ACKs are delivered reliably: re-queue at the front
                 // and try again (§3.2.2 "reliably delivered using local
                 // retransmission at each hop").
-                self.ack_in_flight[node.0] = None;
+                if let Some((fi, batch)) = self.ack_outstanding[node.0].pop_front() {
+                    if !self.flows[fi].halted {
+                        self.flows[fi].nodes[node.0].pending_acks.push_front(batch);
+                    }
+                }
                 ctx.mark_backlogged(node);
             }
         }
@@ -364,15 +373,21 @@ impl NodeAgent for MoreAgent {
                     self.flows[fi].nodes[node.0].pending_acks.pop_front();
                     continue;
                 };
-                self.ack_in_flight[node.0] = Some(fi);
+                let (id, origin) = (f.id, f.dst);
+                // Popped now (not on MAC ack): once handed to the MAC the
+                // frame's fate comes back via on_tx_done/on_queue_drop,
+                // both of which consult ack_outstanding.
+                self.flows[fi].nodes[node.0].pending_acks.pop_front();
+                self.ack_outstanding[node.0].push_back((fi, batch));
                 return Some(OutFrame {
                     dst: Some(nh),
                     bytes: ACK_BYTES,
                     bitrate: None,
+                    flow: Some(id),
                     payload: MorePayload::Ack {
-                        flow: f.id,
+                        flow: id,
                         batch,
-                        origin: f.dst,
+                        origin,
                     },
                 });
             }
@@ -418,6 +433,7 @@ impl NodeAgent for MoreAgent {
                     dst: None,
                     bytes: cfg.header_bytes + k_b + cfg.packet_bytes,
                     bitrate: None,
+                    flow: Some(f.id),
                     payload: MorePayload::Data {
                         flow: f.id,
                         batch,
@@ -450,6 +466,7 @@ impl NodeAgent for MoreAgent {
                 dst: None,
                 bytes: cfg.header_bytes + k_b + cfg.packet_bytes,
                 bitrate: None,
+                flow: Some(f.id),
                 payload: MorePayload::Data {
                     flow: f.id,
                     batch,
@@ -459,6 +476,35 @@ impl NodeAgent for MoreAgent {
             });
         }
         None
+    }
+
+    fn on_queue_drop(
+        &mut self,
+        node: NodeId,
+        payload: MorePayload,
+        _cause: DropCause,
+        ctx: &mut Ctx<'_>,
+    ) {
+        match payload {
+            // A dropped batch ACK must not be lost: retract the
+            // outstanding entry and put the batch back at the head of the
+            // pending queue (§3.2.2 reliable delivery).
+            MorePayload::Ack { flow, batch, .. } => {
+                if let Some(fi) = self.flow_index(flow) {
+                    let out = &mut self.ack_outstanding[node.0];
+                    if let Some(pos) = out.iter().rposition(|&(i, b)| i == fi && b == batch) {
+                        out.remove(pos);
+                    }
+                    if !self.flows[fi].halted {
+                        self.flows[fi].nodes[node.0].pending_acks.push_front(batch);
+                        ctx.mark_backlogged(node);
+                    }
+                }
+            }
+            // A dropped coded packet is just an unheard broadcast; return
+            // its flat buffer to the pool.
+            MorePayload::Data { packet, .. } => pool::release(packet.into_data()),
+        }
     }
 
     fn recycle(&mut self, payload: MorePayload) {

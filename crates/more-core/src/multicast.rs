@@ -21,10 +21,12 @@ use crate::header::MorePayload;
 use crate::{batch_natives, MoreConfig};
 use mesh_metrics::etx::LinkCost;
 use mesh_metrics::{EtxTable, ForwarderPlan};
+use mesh_sim::queue::DropCause;
 use mesh_sim::{Ctx, Frame, NodeAgent, OutFrame, Time, TxOutcome};
 use mesh_topology::{NodeId, Topology};
 use rand::Rng;
 use rlnc::{pool, CodedPacket, SourceEncoder};
+use std::collections::VecDeque;
 
 /// Size of a batch-ACK frame on the air.
 const ACK_BYTES: usize = 30;
@@ -104,12 +106,18 @@ impl McFlow {
     }
 }
 
+/// Batch ACKs a node has handed to its MAC, oldest first:
+/// `(flow index, dst index or usize::MAX for a relayed ACK, batch,
+/// origin)`. A FIFO rather than a slot because a bounded transmit queue
+/// may poll several frames before the first outcome arrives.
+type AckOutstanding = VecDeque<(usize, usize, u32, NodeId)>;
+
 /// Multicast MORE agent: one flow `src → {dst₁, …}` per `add_flow`.
 pub struct MulticastMoreAgent {
     cfg: MoreConfig,
     topo: Topology,
     flows: Vec<McFlow>,
-    ack_in_flight: Vec<Option<(usize, usize)>>, // (flow, dst index)
+    ack_outstanding: Vec<AckOutstanding>,
 }
 
 impl MulticastMoreAgent {
@@ -119,7 +127,22 @@ impl MulticastMoreAgent {
             cfg,
             topo,
             flows: Vec::new(),
-            ack_in_flight: vec![None; n],
+            ack_outstanding: vec![VecDeque::new(); n],
+        }
+    }
+
+    /// Puts an ACK the MAC could not deliver (or the queue dropped) back
+    /// at the head of the queue it was polled from.
+    fn requeue_ack(&mut self, node: NodeId, fi: usize, di: usize, batch: u32, origin: NodeId) {
+        let f = &mut self.flows[fi];
+        if f.halted {
+            return;
+        }
+        if di == usize::MAX {
+            f.nodes[node.0].pending_acks.push_front(batch);
+            f.ack_origin[node.0].push_front(origin);
+        } else {
+            f.dsts[di].node_state.pending_acks.push_front(batch);
         }
     }
 
@@ -355,19 +378,16 @@ impl NodeAgent for MulticastMoreAgent {
         match outcome {
             TxOutcome::Broadcast => {}
             TxOutcome::Acked { .. } => {
-                if let Some((fi, di)) = self.ack_in_flight[node.0].take() {
-                    let f = &mut self.flows[fi];
-                    if di == usize::MAX {
-                        f.nodes[node.0].pending_acks.pop_front();
-                        f.ack_origin[node.0].pop_front();
-                    } else {
-                        f.dsts[di].node_state.pending_acks.pop_front();
-                    }
+                // The oldest outstanding ACK made it; it was already
+                // removed from its pending queue at poll time.
+                if self.ack_outstanding[node.0].pop_front().is_some() {
                     ctx.mark_backlogged(node);
                 }
             }
             TxOutcome::Failed { .. } => {
-                self.ack_in_flight[node.0] = None;
+                if let Some((fi, di, batch, origin)) = self.ack_outstanding[node.0].pop_front() {
+                    self.requeue_ack(node, fi, di, batch, origin);
+                }
                 ctx.mark_backlogged(node);
             }
         }
@@ -376,45 +396,59 @@ impl NodeAgent for MulticastMoreAgent {
     fn poll_tx(&mut self, node: NodeId, ctx: &mut Ctx<'_>) -> Option<OutFrame<MorePayload>> {
         let cfg = self.cfg;
         for fi in 0..self.flows.len() {
-            // 1. ACKs first (destination-originated, then relayed).
+            // 1. ACKs first (destination-originated, then relayed). Each
+            //    is popped from its pending queue as it is handed to the
+            //    MAC; on_tx_done / on_queue_drop consult ack_outstanding.
             {
                 let f = &self.flows[fi];
+                let id = f.id;
+                let mut picked = None;
                 for (di, d) in f.dsts.iter().enumerate() {
                     if d.dst == node {
-                        if let Some(&batch) = d.node_state.pending_acks.front() {
-                            if let Some(nh) = f.ack_next_hop[node.0] {
-                                self.ack_in_flight[node.0] = Some((fi, di));
-                                return Some(OutFrame {
-                                    dst: Some(nh),
-                                    bytes: ACK_BYTES,
-                                    bitrate: None,
-                                    payload: MorePayload::Ack {
-                                        flow: f.id,
-                                        batch,
-                                        origin: node,
-                                    },
-                                });
-                            }
+                        if let (Some(&batch), Some(nh)) =
+                            (d.node_state.pending_acks.front(), f.ack_next_hop[node.0])
+                        {
+                            picked = Some((di, batch, nh));
+                            break;
                         }
                     }
                 }
-                if let Some(&batch) = f.nodes[node.0].pending_acks.front() {
-                    if let Some(nh) = f.ack_next_hop[node.0] {
-                        let origin = *f.ack_origin[node.0]
-                            .front()
-                            .expect("origin tracked per queued ack");
-                        self.ack_in_flight[node.0] = Some((fi, usize::MAX));
-                        return Some(OutFrame {
-                            dst: Some(nh),
-                            bytes: ACK_BYTES,
-                            bitrate: None,
-                            payload: MorePayload::Ack {
-                                flow: f.id,
-                                batch,
-                                origin,
-                            },
-                        });
-                    }
+                if let Some((di, batch, nh)) = picked {
+                    self.flows[fi].dsts[di].node_state.pending_acks.pop_front();
+                    self.ack_outstanding[node.0].push_back((fi, di, batch, node));
+                    return Some(OutFrame {
+                        dst: Some(nh),
+                        bytes: ACK_BYTES,
+                        bitrate: None,
+                        flow: Some(id),
+                        payload: MorePayload::Ack {
+                            flow: id,
+                            batch,
+                            origin: node,
+                        },
+                    });
+                }
+                let f = &self.flows[fi];
+                if let (Some(&batch), Some(nh)) =
+                    (f.nodes[node.0].pending_acks.front(), f.ack_next_hop[node.0])
+                {
+                    let origin = *f.ack_origin[node.0]
+                        .front()
+                        .expect("origin tracked per queued ack");
+                    self.flows[fi].nodes[node.0].pending_acks.pop_front();
+                    self.flows[fi].ack_origin[node.0].pop_front();
+                    self.ack_outstanding[node.0].push_back((fi, usize::MAX, batch, origin));
+                    return Some(OutFrame {
+                        dst: Some(nh),
+                        bytes: ACK_BYTES,
+                        bitrate: None,
+                        flow: Some(id),
+                        payload: MorePayload::Ack {
+                            flow: id,
+                            batch,
+                            origin,
+                        },
+                    });
                 }
             }
             // 2. Source data.
@@ -442,6 +476,7 @@ impl NodeAgent for MulticastMoreAgent {
                     dst: None,
                     bytes: cfg.header_bytes + k_b + cfg.packet_bytes,
                     bitrate: None,
+                    flow: Some(f.id),
                     payload: MorePayload::Data {
                         flow: f.id,
                         batch,
@@ -470,6 +505,7 @@ impl NodeAgent for MulticastMoreAgent {
                 dst: None,
                 bytes: cfg.header_bytes + k_b + cfg.packet_bytes,
                 bitrate: None,
+                flow: Some(f.id),
                 payload: MorePayload::Data {
                     flow: f.id,
                     batch,
@@ -479,6 +515,40 @@ impl NodeAgent for MulticastMoreAgent {
             });
         }
         None
+    }
+
+    fn on_queue_drop(
+        &mut self,
+        node: NodeId,
+        payload: MorePayload,
+        _cause: DropCause,
+        ctx: &mut Ctx<'_>,
+    ) {
+        match payload {
+            // ACKs are delivered reliably: retract the outstanding entry
+            // and put the batch back where it was polled from.
+            MorePayload::Ack {
+                flow,
+                batch,
+                origin,
+            } => {
+                let removed = {
+                    let flows = &self.flows;
+                    let out = &mut self.ack_outstanding[node.0];
+                    out.iter()
+                        .rposition(|&(fi, _, b, o)| {
+                            flows.get(fi).is_some_and(|f| f.id == flow) && b == batch && o == origin
+                        })
+                        .and_then(|pos| out.remove(pos))
+                };
+                if let Some((fi, di, b, o)) = removed {
+                    self.requeue_ack(node, fi, di, b, o);
+                    ctx.mark_backlogged(node);
+                }
+            }
+            // A dropped coded packet is just an unheard broadcast.
+            MorePayload::Data { packet, .. } => pool::release(packet.into_data()),
+        }
     }
 
     fn recycle(&mut self, payload: MorePayload) {

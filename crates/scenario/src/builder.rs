@@ -21,8 +21,8 @@ use crate::sink::{Collect, RunSink};
 use crate::spec::{scale_loss, ExpConfig, FlowSpec, Sweep, TopologySpec, TrafficSpec};
 use crate::traffic::{flow_windows, validate_schedule, FlowWindow, TrafficModelSpec};
 use mesh_sim::{
-    Bitrate, ChannelSpec, ErasedFlowAgent, FlowAgent, FlowDesc, SimConfig, Simulator,
-    TrafficAction, SEC, TICK,
+    AimdConfig, Bitrate, ChannelSpec, ErasedFlowAgent, FlowAgent, FlowDesc, QueueSpec, SimConfig,
+    Simulator, TrafficAction, SEC, TICK,
 };
 use mesh_topology::estimator::LinkEstimator;
 use mesh_topology::{NodeId, Topology};
@@ -117,6 +117,8 @@ pub struct ScenarioBuilder {
     base: ExpConfig,
     sim: SimConfig,
     channel: ChannelSpec,
+    queue: QueueSpec,
+    congestion: Option<AimdConfig>,
     probe: Option<(LinkEstimator, u64)>,
     threads: Option<usize>,
     registry: ProtocolRegistry,
@@ -135,6 +137,8 @@ impl std::fmt::Debug for ScenarioBuilder {
             .field("sweep", &self.sweep)
             .field("seeds", &self.seeds)
             .field("channel", &self.channel)
+            .field("queue", &self.queue)
+            .field("congestion", &self.congestion)
             .field("sink", &self.sink.as_ref().map(|_| ".."))
             .field("checkpoint_dir", &self.checkpoint_dir)
             .finish_non_exhaustive()
@@ -155,6 +159,8 @@ impl ScenarioBuilder {
             base: ExpConfig::default(),
             sim: SimConfig::default(),
             channel: ChannelSpec::Static,
+            queue: QueueSpec::Unbounded,
+            congestion: None,
             probe: None,
             threads: None,
             registry: ProtocolRegistry::with_defaults(),
@@ -331,6 +337,50 @@ impl ScenarioBuilder {
     /// ```
     pub fn channel(mut self, spec: ChannelSpec) -> Self {
         self.channel = spec;
+        self
+    }
+
+    /// Sets the per-node transmit queue discipline every run uses
+    /// (default: [`QueueSpec::Unbounded`], the legacy pull-on-demand
+    /// engine — byte-identical output, no `queue` key in the records).
+    /// Bounded disciplines surface per-flow drops, whole-run drop totals,
+    /// and Jain's fairness index in each record.
+    ///
+    /// ```
+    /// use mesh_sim::QueueSpec;
+    /// use mesh_topology::NodeId;
+    /// use more_scenario::{Scenario, TopologySpec};
+    ///
+    /// let records = Scenario::named("queue-doc")
+    ///     .topology(TopologySpec::Line {
+    ///         hops: 1,
+    ///         p_adj: 0.9,
+    ///         skip_decay: 0.0,
+    ///         spacing: 20.0,
+    ///     })
+    ///     .pair(NodeId(0), NodeId(1))
+    ///     .protocol("MORE")
+    ///     .queue(QueueSpec::drop_tail(16))
+    ///     .packets(16)
+    ///     .deadline(60)
+    ///     .run();
+    /// assert_eq!(records[0].queue, "droptail(cap=16)");
+    /// assert!(records[0].fairness >= 0.0 && records[0].fairness <= 1.0);
+    /// ```
+    pub fn queue(mut self, spec: QueueSpec) -> Self {
+        self.queue = spec;
+        self
+    }
+
+    /// Enables AIMD source congestion control for every flow of every
+    /// run: each source paces its injections at an additive-increase
+    /// rate that halves (by [`AimdConfig::decrease`]) whenever the local
+    /// queue drops one of the flow's frames. Requires a bounded
+    /// [`ScenarioBuilder::queue`] — the pacer reacts to queue losses, and
+    /// the unbounded legacy path has none. At `Sweep::Queue` points that
+    /// are unbounded, pacing is skipped for that point.
+    pub fn congestion(mut self, cfg: AimdConfig) -> Self {
+        self.congestion = Some(cfg);
         self
     }
 
@@ -526,6 +576,36 @@ impl ScenarioBuilder {
         Ok(())
     }
 
+    /// Checks the queue discipline and congestion-control parameters (at
+    /// every sweep point) so bad configurations fail at build time, like
+    /// channel-spec and traffic validation do.
+    fn validate_queue(&self) -> Result<(), BuildError> {
+        self.queue.validate().map_err(BuildError::InvalidQueue)?;
+        if let Some(Sweep::Queue(points)) = &self.sweep {
+            for spec in points {
+                spec.validate().map_err(BuildError::InvalidQueue)?;
+            }
+        }
+        if let Some(cc) = &self.congestion {
+            cc.validate().map_err(BuildError::InvalidQueue)?;
+            // The pacer is keyed to queue losses; a grid with no bounded
+            // queue anywhere would silently never pace.
+            let any_bounded = !self.queue.is_unbounded()
+                || matches!(&self.sweep, Some(Sweep::Queue(points))
+                    if points.iter().any(|q| !q.is_unbounded()));
+            if !any_bounded {
+                return Err(BuildError::InvalidQueue(
+                    "congestion control requires a bounded queue discipline \
+                     (set ScenarioBuilder::queue or sweep Sweep::Queue with a \
+                     bounded point); the unbounded legacy path has no queue \
+                     losses to react to"
+                        .to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Executes the grid, surfacing configuration errors. With a
     /// configured [`ScenarioBuilder::sink`] the returned `Vec` is empty —
     /// the records streamed into the sink instead; otherwise a default
@@ -552,6 +632,7 @@ impl ScenarioBuilder {
     /// [`ScenarioBuilder::checkpoint`] is set.
     fn stream_into(mut self, sink: &mut dyn RunSink) -> Result<RunSummary, BuildError> {
         self.validate_sweep_traffic()?;
+        self.validate_queue()?;
         let mut on_complete = self.on_complete.take();
         let protocols = if self.protocols.is_empty() {
             // No explicit selection: run everything registered.
@@ -597,7 +678,7 @@ impl ScenarioBuilder {
         // one output file. (`Custom(..)` topologies/traffic fingerprint
         // opaquely — two different custom closures are indistinguishable
         // here.)
-        let fingerprint = format!(
+        let mut fingerprint = format!(
             "topo={:?} traffic={:?} sweep={:?} base={:?} sim={:?} channel={} probe={:?}",
             self.topology,
             self.traffic,
@@ -607,6 +688,14 @@ impl ScenarioBuilder {
             self.channel.label(),
             self.probe,
         );
+        // Appended only when configured, so manifests written before the
+        // queueing subsystem existed still resume.
+        if !self.queue.is_unbounded() {
+            fingerprint.push_str(&format!(" queue={}", self.queue.label()));
+        }
+        if let Some(cc) = &self.congestion {
+            fingerprint.push_str(&format!(" cc={}", cc.label()));
+        }
         let sink_err = |e: std::io::Error| BuildError::Sink(e.to_string());
         let (mut manifest, manifest_path, skipped) = match &self.checkpoint_dir {
             None => (None, String::new(), 0),
@@ -768,6 +857,7 @@ impl ScenarioBuilder {
         let mut topo = self.topology.instantiate(seed);
         let mut traffic = self.traffic.clone();
         let mut chan = self.channel.clone();
+        let mut queue = self.queue.clone();
         let (param, value) = match (&self.sweep, sweep_point) {
             (Some(sweep), Some(i)) => {
                 match sweep {
@@ -776,6 +866,7 @@ impl ScenarioBuilder {
                     Sweep::Bitrate(v) => cfg.bitrate = v[i],
                     Sweep::LossScale(v) => topo = scale_loss(&topo, v[i]),
                     Sweep::Channel(v) => chan = v[i].clone(),
+                    Sweep::Queue(v) => queue = v[i].clone(),
                     Sweep::Flows(v) => {
                         traffic = match traffic {
                             TrafficModelSpec::Static(TrafficSpec::RandomConcurrent {
@@ -830,6 +921,9 @@ impl ScenarioBuilder {
         };
         sim_cfg.bitrate = cfg.bitrate;
         chan.validate(&topo).map_err(BuildError::Unsupported)?;
+        // Revalidated here — like the channel — for direct run_cell
+        // callers that bypass try_run's up-front check.
+        queue.validate().map_err(BuildError::InvalidQueue)?;
 
         // Routing beliefs: the truth matrix, or a probe-window estimate
         // of the live channel when `probe_routing` is set (deterministic
@@ -888,8 +982,20 @@ impl ScenarioBuilder {
                 )));
             }
             let record = run_one(
-                &self.name, proto_name, &topo, &windows, dynamic, &cfg, &sim_cfg, &chan, agent,
-                param, value, ti,
+                &self.name,
+                proto_name,
+                &topo,
+                &windows,
+                dynamic,
+                &cfg,
+                &sim_cfg,
+                &chan,
+                &queue,
+                self.congestion,
+                agent,
+                param,
+                value,
+                ti,
             );
             records.push(record);
         }
@@ -903,7 +1009,10 @@ impl ScenarioBuilder {
 /// rest are injected through the simulator's traffic queue; per-flow
 /// arrival/departure/latency is recorded for dynamic schedules (and
 /// omitted for static ones, which stay byte-identical to the
-/// pre-traffic-model engine).
+/// pre-traffic-model engine). A bounded `queue` installs the queueing
+/// layer; `congestion` then paces every flow's source (flow ids are
+/// `1..=windows.len()` in window order — the factory contract — and
+/// dynamically arriving flows are auto-paced via the traffic hook).
 #[allow(clippy::too_many_arguments)]
 #[allow(clippy::borrowed_box)] // run's stop callback receives &A = &Box<dyn _>
 fn run_one(
@@ -915,13 +1024,25 @@ fn run_one(
     cfg: &ExpConfig,
     sim_cfg: &SimConfig,
     chan: &ChannelSpec,
+    queue: &QueueSpec,
+    congestion: Option<AimdConfig>,
     agent: Box<dyn ErasedFlowAgent>,
     param: Option<&'static str>,
     value: Option<f64>,
     traffic_index: usize,
 ) -> RunRecord {
     let deadline = cfg.deadline_s * SEC;
-    let mut sim = Simulator::with_channel(topo.clone(), *sim_cfg, chan, agent, cfg.seed);
+    let mut sim = Simulator::with_queue(topo.clone(), *sim_cfg, chan, queue, agent, cfg.seed);
+    if let Some(cc) = congestion.filter(|_| !queue.is_unbounded()) {
+        for (i, w) in windows.iter().enumerate() {
+            if w.start == 0 {
+                sim.pace_flow(i as u32 + 1, w.spec.src, cc);
+            }
+        }
+        // Flows the traffic model injects mid-run are paced as they
+        // arrive.
+        sim.pace_all_flows(cc);
+    }
     for (i, w) in windows.iter().enumerate() {
         if w.start == 0 {
             sim.kick(w.spec.src);
@@ -982,6 +1103,12 @@ fn run_one(
                 dsts: w.spec.dsts.clone(),
                 delivered: p.delivered,
                 throughput_pps,
+                queue_drops: sim
+                    .stats
+                    .queue_drops_by_flow
+                    .get(&(i as u32 + 1))
+                    .copied()
+                    .unwrap_or(0),
                 completed,
                 completed_at_s: p.completed_at.map(time_to_s),
                 started_at_s: dynamic.then(|| time_to_s(start)),
@@ -1000,18 +1127,22 @@ fn run_one(
                 },
             }
         })
-        .collect();
+        .collect::<Vec<FlowRecord>>();
+    let throughputs: Vec<f64> = flow_records.iter().map(|f| f.throughput_pps).collect();
     RunRecord {
         scenario: scenario.to_string(),
         protocol: protocol.to_string(),
         topology: topo.name.clone(),
         channel: chan.label(),
+        queue: queue.label(),
         param,
         value,
         seed: cfg.seed,
         traffic_index,
         flows: flow_records,
         total_tx: sim.stats.total_tx(),
+        queue_drops: sim.stats.total_queue_drops(),
+        fairness: mesh_metrics::fairness::jain(&throughputs),
         concurrency,
         sim_time_s: time_to_s(sim.now()),
     }

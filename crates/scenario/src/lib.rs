@@ -66,7 +66,7 @@ pub mod spec;
 pub mod traffic;
 
 pub use builder::{Progress, RunSummary, Scenario, ScenarioBuilder};
-pub use mesh_sim::{ChannelModel, ChannelSpec};
+pub use mesh_sim::{AimdConfig, ChannelModel, ChannelSpec, QueueSpec};
 pub use protocols::{ExorFactory, MoreFactory, SrcrFactory};
 pub use record::{FlowRecord, RunRecord};
 pub use registry::{BuildError, ProtocolFactory, ProtocolRegistry};

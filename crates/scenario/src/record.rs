@@ -15,6 +15,10 @@ pub struct FlowRecord {
     /// Delivered packets / elapsed seconds (deadline-limited runs use
     /// the deadline as the denominator — the Figs 4-2…4-7 convention).
     pub throughput_pps: f64,
+    /// Frames of this flow dropped by transmit queues anywhere in the
+    /// mesh. Always 0 (and the JSON key omitted) for the unbounded
+    /// default, which has no queues to drop from.
+    pub queue_drops: u64,
     /// The transfer finished before the deadline.
     pub completed: bool,
     /// Completion time in simulated seconds, when completed.
@@ -47,6 +51,12 @@ pub struct RunRecord {
     /// for the default §5.3.1 air. Omitted from JSON when static so
     /// static output stays byte-identical to the pre-channel engine.
     pub channel: String,
+    /// Queue-discipline label ([`mesh_sim::QueueSpec::label`]);
+    /// `"unbounded"` for the default pull-on-demand engine. Omitted from
+    /// JSON — together with the `queue_drops` and `fairness` keys — when
+    /// unbounded, so default output stays byte-identical to the pre-queue
+    /// engine (enforced by `tests/queue_equivalence.rs`).
+    pub queue: String,
     /// Sweep parameter name, when the scenario sweeps one.
     pub param: Option<&'static str>,
     /// Sweep parameter value at this point.
@@ -60,6 +70,13 @@ pub struct RunRecord {
     pub flows: Vec<FlowRecord>,
     /// Whole-run data-frame transmissions.
     pub total_tx: u64,
+    /// Whole-run transmit-queue drops, all causes (overflow, early
+    /// marking, CHOKe flow matches). 0 under the unbounded default.
+    pub queue_drops: u64,
+    /// Jain's fairness index over the per-flow throughputs
+    /// ([`mesh_metrics::fairness::jain`]): 1.0 when every flow gets an
+    /// equal share, `1/n` when one flow monopolizes the medium.
+    pub fairness: f64,
     /// Fraction of airtime with ≥ 2 concurrent transmissions.
     pub concurrency: f64,
     /// Simulated time at exit, seconds.
@@ -89,6 +106,11 @@ impl RunRecord {
     /// the array element [`to_json`] emits (the contract the
     /// [`crate::sink::JsonLines`] sink streams under).
     pub fn to_json_line(&self) -> String {
+        // Queue keys only exist for bounded disciplines: the unbounded
+        // default must stay byte-identical to the pre-queue engine
+        // (tests/queue_equivalence.rs), like the channel and lifecycle
+        // keys below.
+        let queued = self.queue != "unbounded";
         let flows: Vec<String> = self
             .flows
             .iter()
@@ -110,9 +132,14 @@ impl RunRecord {
                             .unwrap_or_else(|| "null".to_string()),
                     ),
                 };
+                let qdrops = if queued {
+                    format!(", \"queue_drops\": {}", f.queue_drops)
+                } else {
+                    String::new()
+                };
                 format!(
                     "{{\"src\": {}, \"dsts\": [{}], \"delivered\": {}, \
-                     \"throughput_pps\": {}, \"completed\": {}, \"completed_at_s\": {}{}}}",
+                     \"throughput_pps\": {}, \"completed\": {}, \"completed_at_s\": {}{}{}}}",
                     f.src.0,
                     dsts.join(", "),
                     f.delivered,
@@ -122,6 +149,7 @@ impl RunRecord {
                         .map(fmt_f64)
                         .unwrap_or_else(|| "null".to_string()),
                     lifecycle,
+                    qdrops,
                 )
             })
             .collect();
@@ -133,14 +161,25 @@ impl RunRecord {
         } else {
             format!("\"channel\": {}, ", esc(&self.channel))
         };
+        let queue = if queued {
+            format!(
+                "\"queue\": {}, \"queue_drops\": {}, \"fairness\": {}, ",
+                esc(&self.queue),
+                self.queue_drops,
+                fmt_f64(self.fairness),
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{{\"scenario\": {}, \"protocol\": {}, \"topology\": {}, {}\
+            "{{\"scenario\": {}, \"protocol\": {}, \"topology\": {}, {}{}\
              \"param\": {}, \"value\": {}, \"seed\": {}, \"traffic_index\": {}, \
              \"total_tx\": {}, \"concurrency\": {}, \"sim_time_s\": {}, \"flows\": [{}]}}",
             esc(&self.scenario),
             esc(&self.protocol),
             esc(&self.topology),
             channel,
+            queue,
             self.param
                 .map(|p| format!("\"{p}\""))
                 .unwrap_or_else(|| "null".to_string()),
@@ -158,22 +197,27 @@ impl RunRecord {
 
     /// The CSV header matching [`RunRecord::to_csv_rows`]. One CSV row
     /// per flow (runs with several flows emit several rows).
-    pub const CSV_HEADER: &'static str = "scenario,protocol,topology,channel,param,value,seed,\
-         traffic_index,flow_index,src,dst,delivered,throughput_pps,completed,\
-         completed_at_s,started_at_s,stopped_at_s,latency_s,total_tx,concurrency,sim_time_s";
+    pub const CSV_HEADER: &'static str = "scenario,protocol,topology,channel,queue,param,value,\
+         seed,traffic_index,flow_index,src,dst,delivered,throughput_pps,queue_drops,completed,\
+         completed_at_s,started_at_s,stopped_at_s,latency_s,total_tx,total_queue_drops,fairness,\
+         concurrency,sim_time_s";
 
-    /// One CSV row per flow, matching [`RunRecord::CSV_HEADER`].
+    /// One CSV row per flow, matching [`RunRecord::CSV_HEADER`]. Unlike
+    /// JSON, the queue columns always exist (CSV has no optional keys);
+    /// unbounded runs carry `unbounded`, zero drops, and the fairness
+    /// index.
     pub fn to_csv_rows(&self) -> Vec<String> {
         self.flows
             .iter()
             .enumerate()
             .map(|(i, f)| {
                 format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     csv_field(&self.scenario),
                     csv_field(&self.protocol),
                     csv_field(&self.topology),
                     csv_field(&self.channel),
+                    csv_field(&self.queue),
                     // `param` and the joined `dsts` go through the same
                     // quoting as every other string column: a
                     // comma-bearing sweep-parameter name must not shear
@@ -194,12 +238,15 @@ impl RunRecord {
                     ),
                     f.delivered,
                     fmt_f64(f.throughput_pps),
+                    f.queue_drops,
                     f.completed,
                     f.completed_at_s.map(fmt_f64).unwrap_or_default(),
                     f.started_at_s.map(fmt_f64).unwrap_or_default(),
                     f.stopped_at_s.map(fmt_f64).unwrap_or_default(),
                     f.latency_s.map(fmt_f64).unwrap_or_default(),
                     self.total_tx,
+                    self.queue_drops,
+                    fmt_f64(self.fairness),
                     fmt_f64(self.concurrency),
                     fmt_f64(self.sim_time_s),
                 )
@@ -285,6 +332,7 @@ pub(crate) mod test_support {
             protocol: "MORE".into(),
             topology: "testbed".into(),
             channel: "static".into(),
+            queue: "unbounded".into(),
             param: Some("k"),
             value: Some(32.0),
             seed: 1,
@@ -294,6 +342,7 @@ pub(crate) mod test_support {
                 dsts: vec![NodeId(19)],
                 delivered: 384,
                 throughput_pps: 151.25,
+                queue_drops: 0,
                 completed: true,
                 completed_at_s: Some(2.54),
                 started_at_s: None,
@@ -301,6 +350,8 @@ pub(crate) mod test_support {
                 latency_s: None,
             }],
             total_tx: 900,
+            queue_drops: 0,
+            fairness: 1.0,
             concurrency: 0.12,
             sim_time_s: 2.54,
         }
@@ -363,6 +414,42 @@ mod test {
     }
 
     #[test]
+    fn queue_keys_omitted_when_unbounded_present_otherwise() {
+        // Unbounded: byte-compat with the pre-queue engine — none of the
+        // queue-subsystem keys exist.
+        let json = to_json(&[sample()]);
+        for key in ["\"queue\"", "\"queue_drops\"", "\"fairness\""] {
+            assert!(!json.contains(key), "unexpected {key} in {json}");
+        }
+        // Bounded: label, drop counts, and the fairness index surface at
+        // both the run and flow level.
+        let mut r = sample();
+        r.queue = "droptail(cap=16)".into();
+        r.queue_drops = 7;
+        r.fairness = 0.5;
+        r.flows[0].queue_drops = 7;
+        let json = to_json(&[r.clone()]);
+        let v = mesh_topology::json::parse(&json).expect("valid JSON");
+        let obj = &v.as_arr().unwrap()[0];
+        assert_eq!(obj.get("queue").unwrap().as_str(), Some(r.queue.as_str()));
+        assert_eq!(obj.get("queue_drops").unwrap().as_f64(), Some(7.0));
+        assert_eq!(obj.get("fairness").unwrap().as_f64(), Some(0.5));
+        let flow = &obj.get("flows").unwrap().as_arr().unwrap()[0];
+        assert_eq!(flow.get("queue_drops").unwrap().as_f64(), Some(7.0));
+        // CSV always carries the columns.
+        for col in [
+            ",queue,",
+            ",queue_drops,",
+            ",total_queue_drops,",
+            ",fairness,",
+        ] {
+            assert!(RunRecord::CSV_HEADER.contains(col), "missing {col}");
+        }
+        let csv = to_csv(&[r.clone()]);
+        assert!(csv.contains(&r.queue));
+    }
+
+    #[test]
     fn lifecycle_keys_omitted_for_static_flows_present_otherwise() {
         // Static flow (started_at_s = None): byte-compat, no lifecycle keys.
         assert!(!to_json(&[sample()]).contains("started_at_s"));
@@ -422,7 +509,7 @@ mod test {
         assert!(row.contains("\"k,variant\""), "param must be quoted: {row}");
         let header_cols = RunRecord::CSV_HEADER.split(',').count();
         assert_eq!(csv_split(row).len(), header_cols, "sheared row: {row}");
-        assert_eq!(csv_split(row)[4], "k,variant");
+        assert_eq!(csv_split(row)[5], "k,variant");
     }
 
     #[test]
@@ -433,7 +520,7 @@ mod test {
         // '|'-joined destinations carry no comma, so the field stays
         // unquoted — but it must flow through csv_field like every other
         // string column (arity stays fixed either way).
-        assert_eq!(csv_split(row)[10], "3|7");
+        assert_eq!(csv_split(row)[11], "3|7");
         assert_eq!(
             csv_split(row).len(),
             RunRecord::CSV_HEADER.split(',').count()

@@ -25,6 +25,10 @@ pub enum BuildError {
     /// started, a `Stop` before its `Start`, events past the horizon, or
     /// an unsorted event list).
     InvalidSchedule(String),
+    /// A [`mesh_sim::QueueSpec`] or congestion-control configuration is
+    /// internally inconsistent (zero capacity, inverted RED thresholds,
+    /// out-of-range marking probability, …).
+    InvalidQueue(String),
     /// A [`crate::sink::RunSink`] or checkpoint-manifest I/O operation
     /// failed.
     Sink(String),
@@ -38,6 +42,7 @@ impl fmt::Display for BuildError {
                 write!(f, "no protocol named {name:?} in the registry")
             }
             BuildError::InvalidSchedule(msg) => write!(f, "invalid traffic schedule: {msg}"),
+            BuildError::InvalidQueue(msg) => write!(f, "invalid queue configuration: {msg}"),
             BuildError::Sink(msg) => write!(f, "result sink failed: {msg}"),
         }
     }

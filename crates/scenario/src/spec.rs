@@ -3,7 +3,7 @@
 
 // xtask: allow(panic_path, file) -- FlowSpec validation guarantees a non-empty destination list, and Sweep::value(i) is only called with i < len() by the sweep driver iterating 0..len().
 
-use mesh_sim::{Bitrate, ChannelSpec};
+use mesh_sim::{Bitrate, ChannelSpec, QueueSpec};
 use mesh_topology::{generate, NodeId, Topology};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -365,6 +365,10 @@ pub enum Sweep {
     /// [`crate::TrafficModelSpec::Poisson`] traffic model — the classic
     /// offered-load-vs-throughput construction.
     Load(Vec<f64>),
+    /// Queue disciplines (unbounded vs DropTail vs RED vs CHOKe; the
+    /// numeric sweep value is the point's index, the record's `queue`
+    /// key carries the spec label).
+    Queue(Vec<QueueSpec>),
 }
 
 impl Sweep {
@@ -378,6 +382,7 @@ impl Sweep {
             Sweep::Flows(_) => "flows",
             Sweep::Channel(_) => "channel",
             Sweep::Load(_) => "load",
+            Sweep::Queue(_) => "queue",
         }
     }
 
@@ -391,6 +396,7 @@ impl Sweep {
             Sweep::Flows(v) => v.len(),
             Sweep::Channel(v) => v.len(),
             Sweep::Load(v) => v.len(),
+            Sweep::Queue(v) => v.len(),
         }
     }
 
@@ -409,6 +415,7 @@ impl Sweep {
             Sweep::Flows(v) => v[i] as f64,
             Sweep::Channel(_) => i as f64,
             Sweep::Load(v) => v[i],
+            Sweep::Queue(_) => i as f64,
         }
     }
 }
