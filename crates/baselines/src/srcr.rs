@@ -77,9 +77,13 @@ struct SrcrFlow {
     src: NodeId,
     dst: NodeId,
     total: usize,
-    /// `next_hop[i]` along the fixed best path.
-    next_hop: Vec<Option<NodeId>>,
-    /// Per-node forwarding queues (seq numbers).
+    /// The fixed ETX-best path `src → … → dst`. Per-flow state is sized
+    /// to this path, not to the mesh — a city-scale run admitting
+    /// thousands of flows stays O(path + packets) per flow instead of
+    /// O(nodes).
+    path: Vec<NodeId>,
+    /// Per-hop forwarding queues (seq numbers), parallel to `path`; the
+    /// destination's entry stays empty.
     queues: Vec<VecDeque<u32>>,
     /// Packets the source has not injected yet.
     next_seq: u32,
@@ -97,6 +101,16 @@ impl SrcrFlow {
     fn resolved(&self) -> usize {
         self.progress.delivered + self.progress.dropped
     }
+
+    /// Position of `node` on the path (paths are hop-free of repeats).
+    fn hop(&self, node: NodeId) -> Option<usize> {
+        self.path.iter().position(|&p| p == node)
+    }
+
+    /// The nexthop from `node`, `None` at the destination or off-path.
+    fn next_hop(&self, node: NodeId) -> Option<NodeId> {
+        self.hop(node).and_then(|i| self.path.get(i + 1).copied())
+    }
 }
 
 /// Srcr for a whole mesh; one instance drives all nodes.
@@ -105,8 +119,17 @@ pub struct SrcrAgent {
     topo: Topology,
     default_rate: Bitrate,
     flows: Vec<SrcrFlow>,
+    /// Flow index by wire id. `on_receive` runs once per decoded frame;
+    /// a linear scan over every flow ever admitted would cost O(arrivals)
+    /// per event on long Poisson runs.
+    by_id: BTreeMap<u32, usize>,
     /// Per-node round-robin cursor over flows.
     rr: Vec<usize>,
+    /// Flow indices whose path crosses each node, ascending. `poll_tx`
+    /// visits these instead of every flow ever admitted — off-path flows
+    /// can never have a queued packet there, so the cyclic scan returns
+    /// the identical frame.
+    node_flows: Vec<Vec<usize>>,
     /// Packets each node has handed to the MAC, oldest first:
     /// `(flow idx, seq)`. A FIFO rather than a slot because a bounded
     /// transmit queue may poll several frames before the first outcome
@@ -126,7 +149,9 @@ impl SrcrAgent {
             topo,
             default_rate,
             flows: Vec::new(),
+            by_id: BTreeMap::new(),
             rr: vec![0; n],
+            node_flows: vec![Vec::new(); n],
             outstanding: vec![VecDeque::new(); n],
             autorate: BTreeMap::new(),
         }
@@ -137,22 +162,28 @@ impl SrcrAgent {
         assert!(total > 0, "empty transfer");
         let etx = EtxTable::compute(&self.topo, dst, self.cfg.link_cost);
         assert!(etx.dist(src).is_finite(), "source cannot reach destination");
-        let n = self.topo.n();
-        let next_hop = (0..n).map(|i| etx.next_hop(NodeId(i))).collect();
+        let path = etx.path_from(src).expect("finite distance implies a path");
+        let fi = self.flows.len();
+        // Every hop but the destination may poll frames for this flow.
+        for &node in &path[..path.len() - 1] {
+            self.node_flows[node.0].push(fi);
+        }
+        let previous = self.by_id.insert(id, fi);
+        assert!(previous.is_none(), "duplicate flow id {id}");
         self.flows.push(SrcrFlow {
             id,
             src,
             dst,
             total,
-            next_hop,
-            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            queues: vec![VecDeque::new(); path.len()],
+            path,
             next_seq: 0,
             in_flight: 0,
             got: vec![false; total],
             progress: SrcrProgress::default(),
             halted: false,
         });
-        self.flows.len() - 1
+        fi
     }
 
     /// Withdraws flow `index` mid-run: the source stops injecting, queued
@@ -176,7 +207,8 @@ impl SrcrAgent {
         self.flows.iter().all(|f| f.progress.done || f.halted)
     }
 
-    /// Debug: (queue lengths, in-network count, next_seq) of a flow.
+    /// Debug: (per-hop queue lengths along the path, in-network count,
+    /// next_seq) of a flow.
     pub fn debug_flow(&self, index: usize) -> (Vec<usize>, usize, u32) {
         let f = &self.flows[index];
         (
@@ -200,7 +232,7 @@ impl SrcrAgent {
     }
 
     fn flow_index(&self, id: u32) -> Option<usize> {
-        self.flows.iter().position(|f| f.id == id)
+        self.by_id.get(&id).copied()
     }
 
     /// A packet left the network (delivered or dropped): update pacing and
@@ -251,7 +283,12 @@ impl NodeAgent for SrcrAgent {
             return;
         }
         // Forwarder: queue it (tail drop beyond the 50-packet queue).
-        if f.queues[node.0].len() >= self.cfg.queue_len {
+        // Unicast frames only land on path nodes; anything else is a
+        // stale frame for a withdrawn route and is dropped silently.
+        let Some(hop) = f.hop(node) else {
+            return;
+        };
+        if f.queues[hop].len() >= self.cfg.queue_len {
             let new_loss = !std::mem::replace(&mut f.got[seq as usize], true);
             if new_loss {
                 Self::resolve(f, false, ctx.now());
@@ -260,7 +297,7 @@ impl NodeAgent for SrcrAgent {
             }
             return;
         }
-        f.queues[node.0].push_back(seq);
+        f.queues[hop].push_back(seq);
         ctx.mark_backlogged(node);
     }
 
@@ -274,7 +311,7 @@ impl NodeAgent for SrcrAgent {
             TxOutcome::Broadcast => unreachable!("Srcr never broadcasts"),
         };
         if self.cfg.autorate {
-            let nh = self.flows[fi].next_hop[node.0];
+            let nh = self.flows[fi].next_hop(node);
             if let Some(nh) = nh {
                 let initial = self.default_rate;
                 self.autorate
@@ -307,9 +344,16 @@ impl NodeAgent for SrcrAgent {
         if nf == 0 {
             return None;
         }
+        // Cyclic scan from the cursor over this node's own flows only.
+        // Off-path flows can neither top up a window here (the source is
+        // on its path) nor hold a queued packet, so restricting the scan
+        // visits the same flows, in the same order, as the historical
+        // walk over every flow — and returns the identical frame.
+        let cands = std::mem::take(&mut self.node_flows[node.0]);
         let start = self.rr[node.0] % nf;
-        for step in 0..nf {
-            let fi = (start + step) % nf;
+        let pivot = cands.partition_point(|&fi| fi < start);
+        for k in 0..cands.len() {
+            let fi = cands[(pivot + k) % cands.len()];
             if self.flows[fi].halted {
                 continue;
             }
@@ -320,26 +364,30 @@ impl NodeAgent for SrcrAgent {
                 if node == f.src {
                     while (f.next_seq as usize) < f.total
                         && f.in_flight < cfg_window
-                        && f.queues[node.0].len() < self.cfg.queue_len
+                        && f.queues[0].len() < self.cfg.queue_len
                     {
-                        f.queues[node.0].push_back(f.next_seq);
+                        f.queues[0].push_back(f.next_seq);
                         f.next_seq += 1;
                         f.in_flight += 1;
                     }
                 }
             }
             let f = &self.flows[fi];
-            if f.queues[node.0].is_empty() {
+            let Some(hop) = f.hop(node) else {
+                continue;
+            };
+            if f.queues[hop].is_empty() {
                 continue;
             }
-            let Some(nh) = f.next_hop[node.0] else {
+            let Some(&nh) = f.path.get(hop + 1) else {
                 continue;
             };
             let rate = self.rate_for(node, nh);
             let f = &mut self.flows[fi];
-            let seq = f.queues[node.0].pop_front().expect("non-empty queue");
+            let seq = f.queues[hop].pop_front().expect("non-empty queue");
             self.outstanding[node.0].push_back((fi, seq));
             self.rr[node.0] = fi + 1;
+            self.node_flows[node.0] = cands;
             return Some(OutFrame {
                 dst: Some(nh),
                 bytes: self.cfg.packet_bytes,
@@ -348,6 +396,7 @@ impl NodeAgent for SrcrAgent {
                 payload: SrcrPayload { flow: f.id, seq },
             });
         }
+        self.node_flows[node.0] = cands;
         None
     }
 
@@ -405,7 +454,7 @@ impl mesh_sim::FlowAgent for SrcrAgent {
             1,
             "Srcr routes along a single best path; multicast arrivals are unsupported"
         );
-        let id = self.flows.iter().map(|f| f.id).max().unwrap_or(0) + 1;
+        let id = self.by_id.keys().next_back().copied().unwrap_or(0) + 1;
         SrcrAgent::add_flow(self, id, desc.src, desc.dsts[0], desc.packets)
     }
 

@@ -15,6 +15,11 @@
 //! cargo run --release -p more-bench --bin bench_engine -- --runs 64
 //! ```
 //!
+//! `--scaling` additionally sweeps a city-mesh scaling curve
+//! (`--sizes 100,1000,5000,10000`, Srcr under Poisson arrivals capped at
+//! `--flows 500` concurrent) and appends runtime + peak-RSS points to
+//! the same JSON — the sparse-topology acceptance benchmark.
+//!
 //! `--resume-demo DIR` instead runs a checkpointed JSONL/CSV sweep under
 //! `DIR` — kill it mid-run (`SIGTERM`) and re-invoke with the same
 //! arguments and it resumes from the manifest, finishing byte-identical
@@ -23,7 +28,8 @@
 use more_bench::common::{banner, threads, Args};
 use more_scenario::sink::{Aggregate, Collect, CsvAppend, JsonLines, Tee};
 use more_scenario::{
-    QueueSpec, RunSummary, Scenario, ScenarioBuilder, Sweep, TopologySpec, TrafficSpec,
+    QueueSpec, RunSummary, Scenario, ScenarioBuilder, Sweep, TopologySpec, TrafficModelSpec,
+    TrafficSpec,
 };
 use std::time::Instant;
 
@@ -78,6 +84,86 @@ fn measure(
     }
 }
 
+/// Peak resident set (`VmHWM`) in MiB from `/proc/self/status`. A
+/// process-wide high-water mark — monotone across points, so the curve
+/// reports the running maximum. 0.0 where procfs is unavailable.
+fn peak_rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+struct ScalePoint {
+    nodes: usize,
+    flows: usize,
+    secs: f64,
+    records: usize,
+    peak_rss_mib: f64,
+}
+
+/// The city-mesh scaling curve: one Srcr + Poisson cell per node count,
+/// sized so the largest point carries `flows_cap` concurrent flows.
+/// Exercises the whole sparse stack — CellGrid placement, CSR adjacency,
+/// sparse medium relations, lazy pair pools, path-sparse Srcr state.
+fn scaling_curve(
+    sizes: &[usize],
+    flows_cap: usize,
+    packets: usize,
+    deadline: u64,
+) -> Vec<ScalePoint> {
+    let hold_s = 10.0;
+    let mut points = Vec::new();
+    for &n in sizes {
+        // Small meshes can't host the full cap; keep ≤ n/2 concurrent.
+        let max_active = flows_cap.min((n / 2).max(1));
+        // Offered load ≈ 1.5× the cap per lifetime, so the cap binds
+        // within the first few held lifetimes.
+        let rate_per_s = 1.5 * max_active as f64 / hold_s;
+        let t0 = Instant::now();
+        let mut sink = Aggregate::new();
+        let summary = Scenario::named("scaling")
+            .topology(TopologySpec::City { n, seed: 1 })
+            .traffic_model(TrafficModelSpec::Poisson {
+                rate_per_s,
+                mean_hold_s: hold_s,
+                max_active,
+            })
+            .protocol("Srcr")
+            .packets(packets)
+            .deadline(deadline)
+            .seeds(1..=1)
+            .threads(1)
+            .run_with_sink(&mut sink);
+        let secs = t0.elapsed().as_secs_f64();
+        let rss = peak_rss_mib();
+        println!(
+            "  {n:>6} nodes, {max_active:>4} concurrent flows: {secs:.2} s, \
+             {} records, peak RSS {rss:.0} MiB",
+            summary.records,
+        );
+        points.push(ScalePoint {
+            nodes: n,
+            flows: max_active,
+            secs,
+            records: summary.records,
+            peak_rss_mib: rss,
+        });
+    }
+    points
+}
+
 fn bench(args: &Args) {
     banner("BENCH engine", "grid throughput and streaming-sink memory");
     let runs: u64 = args.get("runs", 64);
@@ -109,7 +195,27 @@ fn bench(args: &Args) {
         }),
     ];
 
-    let fields: Vec<String> = results
+    // `--scaling` appends the city-mesh curve to the same JSON document,
+    // so one invocation commits both the sink comparison and the
+    // sparse-topology scaling numbers.
+    let scaling = args.has("scaling").then(|| {
+        println!("\nscaling curve (city mesh, Srcr + Poisson arrivals):");
+        let sizes_arg: String = args.get("sizes", "100,1000,5000,10000".to_string());
+        let sizes: Vec<usize> = sizes_arg
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    panic!("--sizes wants comma-separated node counts, got {sizes_arg:?}")
+                })
+            })
+            .collect();
+        let flows: usize = args.get("flows", 500);
+        let packets: usize = args.get("scaling-packets", 8);
+        let deadline: u64 = args.get("scaling-deadline", 30);
+        scaling_curve(&sizes, flows, packets, deadline)
+    });
+
+    let mut fields: Vec<String> = results
         .iter()
         .map(|m| {
             format!(
@@ -122,6 +228,19 @@ fn bench(args: &Args) {
             )
         })
         .collect();
+    if let Some(points) = &scaling {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"nodes\": {}, \"flows\": {}, \"secs\": {:.3}, \
+                     \"records\": {}, \"peak_rss_mib\": {:.1}}}",
+                    p.nodes, p.flows, p.secs, p.records, p.peak_rss_mib,
+                )
+            })
+            .collect();
+        fields.push(format!("  \"scaling\": [\n{}\n  ]", pts.join(",\n")));
+    }
     let json = format!(
         "{{\n  \"bench\": \"scenario_engine_grid\",\n  \"threads\": {},\n  \
          \"grid_runs\": {},\n{}\n}}\n",

@@ -8,17 +8,26 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `std::env::args()`.
+    /// Parses `std::env::args()`. A `--flag` followed by another
+    /// `--option` (or nothing) is a bare switch and reads as `"true"`.
     pub fn parse() -> Self {
         let mut map = HashMap::new();
-        let mut args = std::env::args().skip(1);
+        let mut args = std::env::args().skip(1).peekable();
         while let Some(a) = args.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = args.next().unwrap_or_else(|| "true".into());
+                let value = match args.peek() {
+                    Some(v) if !v.starts_with("--") => args.next().expect("peeked value"),
+                    _ => "true".into(),
+                };
                 map.insert(key.to_string(), value);
             }
         }
         Args { map }
+    }
+
+    /// True when `--key` was passed at all (with or without a value).
+    pub fn has(&self, key: &str) -> bool {
+        self.map.contains_key(key)
     }
 
     /// Typed lookup with default.

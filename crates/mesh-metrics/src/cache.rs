@@ -1,0 +1,120 @@
+//! Memoized per-destination metric tables.
+//!
+//! ETX and EOTX are single-destination computations over the subgraph
+//! that can reach the destination; a run with many flows toward the same
+//! sink would otherwise recompute the identical table once per flow. A
+//! [`MetricCache`] keys tables by `(destination, link-cost kind)` and
+//! hands out [`Arc`]s, so agents share one table per destination.
+//!
+//! Contract: a cache belongs to **one** topology. Tables are pure
+//! functions of `(topology, dst, cost)`; the cache never invalidates, so
+//! feeding it a second topology would serve stale tables. Debug builds
+//! assert the topology's shape (`n`, link count) never changes between
+//! calls; release builds trust the caller. Lazily computing through the
+//! cache — rather than precomputing all-pairs tables — is what keeps
+//! metric memory O(flows · n) instead of O(n²) on city-scale meshes.
+
+use crate::eotx::EotxTable;
+use crate::etx::{EtxTable, LinkCost};
+use mesh_topology::{NodeId, Topology};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Lazily computed, shared ETX/EOTX tables for one topology.
+#[derive(Default, Debug)]
+#[must_use = "a metric cache does nothing until queried"]
+pub struct MetricCache {
+    etx: BTreeMap<(usize, u8), Arc<EtxTable>>,
+    eotx: BTreeMap<usize, Arc<EotxTable>>,
+    /// `(n, link_count)` of the first topology seen, for the debug-build
+    /// single-topology assertion.
+    shape: Option<(usize, usize)>,
+}
+
+fn cost_key(cost: LinkCost) -> u8 {
+    match cost {
+        LinkCost::Forward => 0,
+        LinkCost::ForwardReverse => 1,
+    }
+}
+
+impl MetricCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn check_shape(&mut self, topo: &Topology) {
+        let shape = (topo.n(), topo.link_count());
+        match self.shape {
+            None => self.shape = Some(shape),
+            Some(s) => debug_assert_eq!(
+                s, shape,
+                "MetricCache used with a second topology; tables would be stale"
+            ),
+        }
+    }
+
+    /// The ETX table toward `dst` under `cost`, computing it on first use.
+    pub fn etx(&mut self, topo: &Topology, dst: NodeId, cost: LinkCost) -> Arc<EtxTable> {
+        self.check_shape(topo);
+        self.etx
+            .entry((dst.0, cost_key(cost)))
+            .or_insert_with(|| Arc::new(EtxTable::compute(topo, dst, cost)))
+            .clone()
+    }
+
+    /// The EOTX table toward `dst`, computing it on first use.
+    pub fn eotx(&mut self, topo: &Topology, dst: NodeId) -> Arc<EotxTable> {
+        self.check_shape(topo);
+        self.eotx
+            .entry(dst.0)
+            .or_insert_with(|| Arc::new(EotxTable::compute(topo, dst)))
+            .clone()
+    }
+
+    /// Number of memoized tables (ETX entries + EOTX entries).
+    pub fn len(&self) -> usize {
+        self.etx.len() + self.eotx.len()
+    }
+
+    /// True when nothing has been computed yet.
+    pub fn is_empty(&self) -> bool {
+        self.etx.is_empty() && self.eotx.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod test {
+    use super::*;
+    use mesh_topology::generate;
+
+    #[test]
+    fn caches_by_destination_and_cost() {
+        let t = generate::testbed(1);
+        let mut cache = MetricCache::new();
+        assert!(cache.is_empty());
+        let a = cache.etx(&t, NodeId(0), LinkCost::Forward);
+        let b = cache.etx(&t, NodeId(0), LinkCost::Forward);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one table");
+        let c = cache.etx(&t, NodeId(0), LinkCost::ForwardReverse);
+        assert!(!Arc::ptr_eq(&a, &c), "cost kinds are distinct keys");
+        let d = cache.eotx(&t, NodeId(5));
+        let e = cache.eotx(&t, NodeId(5));
+        assert!(Arc::ptr_eq(&d, &e));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn cached_tables_match_direct_computation() {
+        let t = generate::testbed(2);
+        let mut cache = MetricCache::new();
+        let cached = cache.etx(&t, NodeId(3), LinkCost::Forward);
+        let direct = EtxTable::compute(&t, NodeId(3), LinkCost::Forward);
+        assert_eq!(cached.distances(), direct.distances());
+        let cached = cache.eotx(&t, NodeId(3));
+        let direct = EotxTable::compute(&t, NodeId(3));
+        assert_eq!(cached.distances(), direct.distances());
+    }
+}

@@ -46,7 +46,18 @@ pub struct EotxTable {
 }
 
 impl EotxTable {
-    /// Algorithm 5: Dijkstra-fashion EOTX for independent losses, `O(n²)`.
+    /// Algorithm 5: Dijkstra-fashion EOTX for independent losses.
+    ///
+    /// Extract-min runs on a lazy-deletion binary heap and relaxation
+    /// walks the CSR in-row of the closed node, so the cost is
+    /// O((n + E) log n) over the subgraph that can reach `dst` rather
+    /// than the historical O(n²) scans. The closure order, the relaxation
+    /// order (ascending in-neighbor id), and therefore every float
+    /// operation are identical to the linear-scan implementation:
+    /// estimates only decrease under relaxation, stale heap entries are
+    /// skipped by an exact value comparison, and ties pop in ascending
+    /// node id exactly as the scan's `dist[i] < dist[b]` kept the lowest
+    /// index.
     pub fn compute(topo: &Topology, dst: NodeId) -> Self {
         let n = topo.n();
         assert!(dst.0 < n, "destination out of range");
@@ -58,37 +69,43 @@ impl EotxTable {
         let mut closed = vec![false; n];
         dist[dst.0] = 0.0;
 
-        for _ in 0..n {
-            // Extract the open node with the smallest current estimate
-            // (deterministic id tie-break).
-            let mut best: Option<usize> = None;
-            for i in 0..n {
-                if closed[i] {
-                    continue;
-                }
-                match best {
-                    None => best = Some(i),
-                    Some(b) if dist[i] < dist[b] => best = Some(i),
-                    _ => {}
-                }
+        // Min-heap on (estimate, id); reversed for BinaryHeap.
+        #[derive(PartialEq)]
+        struct Entry(f64, usize);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
             }
-            let Some(k) = best else { break };
-            if dist[k].is_infinite() {
-                break; // the rest are unreachable
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other
+                    .0
+                    .total_cmp(&self.0)
+                    .then_with(|| other.1.cmp(&self.1))
+            }
+        }
+
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(Entry(0.0, dst.0));
+        while let Some(Entry(d, k)) = heap.pop() {
+            // Lazy deletion: entries left behind by later relaxations
+            // carry an out-of-date (always larger) estimate.
+            if closed[k] || d != dist[k] {
+                continue;
             }
             closed[k] = true;
-            // Relax every open node i that can reach k.
-            for i in 0..n {
+            // Relax every open node i that can reach k (ascending id).
+            for (i, p_ik) in topo.neighbors_in(NodeId(k)) {
+                let i = i.0;
                 if closed[i] {
-                    continue;
-                }
-                let p_ik = topo.delivery(NodeId(i), NodeId(k));
-                if p_ik <= 0.0 {
                     continue;
                 }
                 t_acc[i] += p_ik * p_none[i] * dist[k];
                 p_none[i] *= 1.0 - p_ik;
                 dist[i] = t_acc[i] / (1.0 - p_none[i]);
+                heap.push(Entry(dist[i], i));
             }
         }
 

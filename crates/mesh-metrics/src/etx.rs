@@ -76,12 +76,12 @@ impl EtxTable {
             }
             closed[u] = true;
             // Relax incoming links v -> u: transmitting from v reaches u.
-            for v in 0..n {
-                if v == u || closed[v] {
-                    continue;
-                }
-                let p_fwd = topo.delivery(NodeId(v), NodeId(u));
-                if p_fwd <= 0.0 {
+            // The CSR in-row visits exactly the nodes with `p_vu > 0` in
+            // ascending id order — the same candidates, in the same order,
+            // as the historical 0..n scan.
+            for (v, p_fwd) in topo.neighbors_in(NodeId(u)) {
+                let v = v.0;
+                if closed[v] {
                     continue;
                 }
                 let link = match cost {

@@ -20,9 +20,12 @@
 //! * [`fairness`] — Jain's fairness index over per-flow throughputs,
 //!   used by the queueing subsystem to compare disciplines under
 //!   overload.
+//! * [`cache`] — lazy per-destination memoization of ETX/EOTX tables, so
+//!   runs with many flows toward shared sinks compute each table once.
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod credits;
 pub mod eotx;
 pub mod etx;
@@ -30,6 +33,7 @@ pub mod fairness;
 pub mod flow;
 pub mod gap;
 
+pub use cache::MetricCache;
 pub use credits::{ForwarderPlan, PlanConfig};
 pub use eotx::EotxTable;
 pub use etx::EtxTable;

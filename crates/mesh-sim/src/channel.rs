@@ -83,8 +83,45 @@ pub trait ChannelModel: Send {
     /// so geometry-driven channels whose link set goes beyond the static
     /// matrix (shadowing) still defer to — and collide with — every
     /// transmitter that could plausibly be decoded. Must be time-
-    /// independent (a superset of all instants is fine).
+    /// independent (a superset of all instants is fine), and must
+    /// contain the support of [`ChannelModel::delivery`]: whenever
+    /// `delivery(tx, rx, now) > 0` at any instant, `may_reach(tx, rx)`
+    /// is `true`. The medium relies on this to enumerate reception
+    /// candidates per transmitter instead of scanning every node.
     fn may_reach(&self, tx: NodeId, rx: NodeId) -> bool;
+
+    /// Structural promise about the [`ChannelModel::may_reach`] relation,
+    /// letting the medium enumerate reachable pairs without an O(n²)
+    /// scan on city-scale meshes. The default is the conservative
+    /// [`ReachHint::AllPairs`]; models should override it when they can.
+    fn reach_hint(&self) -> ReachHint {
+        ReachHint::AllPairs
+    }
+}
+
+/// How a channel's [`ChannelModel::may_reach`] relation is shaped.
+///
+/// The medium and the probing helpers use this to *enumerate* the pairs
+/// that could ever carry energy: from the topology's link set alone, from
+/// a spatial-index query, or — when nothing is promised — by scanning
+/// every pair. A hint only narrows the enumeration; `may_reach` itself
+/// stays the source of truth for each candidate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[must_use]
+pub enum ReachHint {
+    /// `may_reach` is contained in the support of the topology's static
+    /// delivery matrix: the topology's links enumerate every reachable
+    /// pair. True for matrix-backed models (static, Gilbert–Elliott,
+    /// time-varying drift).
+    MatrixOnly,
+    /// `may_reach(a, b)` implies the nodes sit within this many meters of
+    /// each other (3D, counting floors); node positions are available.
+    /// A 2D spatial-index query with this radius therefore yields a
+    /// candidate superset, confirmed pair by pair with `may_reach`.
+    WithinDistance(f64),
+    /// No structure promised; every pair must be checked. The safe
+    /// default for external [`ChannelModel`] implementations.
+    AllPairs,
 }
 
 /// Serializable description of a channel model; builds a fresh
@@ -341,6 +378,10 @@ impl ChannelModel for StaticChannel {
     fn may_reach(&self, tx: NodeId, rx: NodeId) -> bool {
         self.topo.delivery(tx, rx) > 0.0
     }
+
+    fn reach_hint(&self) -> ReachHint {
+        ReachHint::MatrixOnly
+    }
 }
 
 /// Two-state burst-loss channel (see [`ChannelSpec::GilbertElliott`]).
@@ -390,7 +431,7 @@ impl GilbertElliottChannel {
         let mut good_p = vec![0.0; n * n];
         let mut bad_p = vec![0.0; n * n];
         for &idx in &links {
-            let p = topo.matrix()[idx / n][idx % n];
+            let p = topo.delivery(NodeId(idx / n), NodeId(idx % n));
             let raw_good = p * good_scale;
             let g = raw_good.min(1.0);
             let excess = raw_good - g;
@@ -436,6 +477,11 @@ impl ChannelModel for GilbertElliottChannel {
         self.good_p[idx] > 0.0 || self.bad_p[idx] > 0.0
     }
 
+    fn reach_hint(&self) -> ReachHint {
+        // State deliveries are scaled matrix entries: no link, no energy.
+        ReachHint::MatrixOnly
+    }
+
     fn tick(&mut self, now: Time) {
         let target = now / self.epoch;
         while self.epochs_done < target {
@@ -465,6 +511,10 @@ pub struct ShadowingChannel {
     /// Symmetric shadow per unordered pair, row-major upper triangle
     /// addressed as `min·n + max`.
     shadow_db: Vec<f64>,
+    /// Hard reachability radius, meters: beyond it no shadow draw can
+    /// lift delivery to [`MIN_DELIVERY`], and delivery is clamped to 0 so
+    /// `may_reach` stays a strict superset of the delivery support.
+    reach_m: f64,
     n: usize,
     epochs_done: u64,
     rng: ChaCha8Rng,
@@ -502,11 +552,20 @@ impl ShadowingChannel {
             midpoint_m,
             epoch: epoch_ms * crate::MS,
             shadow_db,
+            reach_m: shadow_reach_m(path_loss_exp, sigma_db, midpoint_m),
             n,
             epochs_done: 0,
             rng,
         }
     }
+}
+
+/// Distance at which even a +3σ shadow leaves delivery below
+/// [`MIN_DELIVERY`]: `p ≥ MIN_DELIVERY` ⟺ `margin ≥ −softness ·
+/// ln((1−MIN)/MIN)`, and the margin falls with `10·ple·log₁₀(mid/d)`.
+fn shadow_reach_m(path_loss_exp: f64, sigma_db: f64, midpoint_m: f64) -> f64 {
+    let margin_floor = -SHADOW_SOFTNESS_DB * ((1.0 - MIN_DELIVERY) / MIN_DELIVERY).ln();
+    midpoint_m * 10f64.powf((3.0 * sigma_db - margin_floor) / (10.0 * path_loss_exp))
 }
 
 fn redraw_shadows(shadow_db: &mut [f64], n: usize, sigma_db: f64, rng: &mut ChaCha8Rng) {
@@ -525,6 +584,13 @@ impl ChannelModel for ShadowingChannel {
         let d = self.positions[tx.0]
             .distance(&self.positions[rx.0], FLOOR_HEIGHT_M)
             .max(0.1);
+        // Beyond the reach radius delivery is clamped to 0 even when the
+        // (unbounded Box–Muller) shadow draw exceeds +3σ, keeping
+        // `may_reach` a strict superset of the delivery support — the
+        // contract the medium's candidate lists depend on.
+        if d > self.reach_m {
+            return 0.0;
+        }
         let (lo, hi) = (tx.0.min(rx.0), tx.0.max(rx.0));
         let shadow = self.shadow_db[lo * self.n + hi];
         // Link margin: positive inside the midpoint, sign-flipped by the
@@ -551,13 +617,17 @@ impl ChannelModel for ShadowingChannel {
             return false;
         }
         // Best plausible shadow: +3σ. Pairs that could decode under it
-        // must be sensed by, and interfere with, each other's radios.
+        // must be sensed by, and interfere with, each other's radios;
+        // `reach_m` is exactly the distance where that best case drops
+        // below `MIN_DELIVERY`.
         let d = self.positions[tx.0]
             .distance(&self.positions[rx.0], FLOOR_HEIGHT_M)
             .max(0.1);
-        let margin =
-            10.0 * self.path_loss_exp * (self.midpoint_m / d).log10() + 3.0 * self.sigma_db;
-        1.0 / (1.0 + (-margin / SHADOW_SOFTNESS_DB).exp()) >= MIN_DELIVERY
+        d <= self.reach_m
+    }
+
+    fn reach_hint(&self) -> ReachHint {
+        ReachHint::WithinDistance(self.reach_m)
     }
 }
 
@@ -633,6 +703,12 @@ impl ChannelModel for TimeVaryingChannel {
     fn may_reach(&self, tx: NodeId, rx: NodeId) -> bool {
         self.topo.delivery(tx, rx) > 0.0
     }
+
+    fn reach_hint(&self) -> ReachHint {
+        // Drift modulates matrix entries and `delivery` zeroes out
+        // non-links explicitly.
+        ReachHint::MatrixOnly
+    }
 }
 
 /// Standard normal draw (Box–Muller; the vendored `rand` has no
@@ -643,11 +719,61 @@ fn gauss(rng: &mut ChaCha8Rng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
+/// Every directed pair `(tx, rx)` the channel could ever deliver on, in
+/// ascending `(tx, rx)` order — the probe-candidate enumeration behind
+/// [`probe_topology`].
+///
+/// Uses the model's [`ChannelModel::reach_hint`] so sparse meshes
+/// enumerate O(links) or O(geometric-neighborhood) pairs: matrix-backed
+/// channels yield exactly the topology's links, distance-bounded channels
+/// query a spatial index and confirm with [`ChannelModel::may_reach`],
+/// and unhinted channels fall back to every ordered pair.
+///
+/// # Panics
+///
+/// Panics when the hint is [`ReachHint::WithinDistance`] but the
+/// topology carries no node positions (such models cannot be built over
+/// position-less topologies in the first place).
+pub fn reach_candidates(topo: &Topology, chan: &dyn ChannelModel) -> Vec<(NodeId, NodeId)> {
+    let n = topo.n();
+    match chan.reach_hint() {
+        ReachHint::MatrixOnly => topo.links().map(|l| (l.from, l.to)).collect(),
+        ReachHint::WithinDistance(d) => {
+            let positions = topo
+                .positions()
+                .expect("WithinDistance reach hint requires node positions");
+            let grid = mesh_topology::spatial::CellGrid::from_positions(positions, d);
+            let mut out = Vec::new();
+            for (i, pos) in positions.iter().enumerate() {
+                let mut row: Vec<u32> = Vec::new();
+                grid.for_each_candidate(pos.x, pos.y, d, |j| {
+                    if j as usize != i && chan.may_reach(NodeId(i), NodeId(j as usize)) {
+                        row.push(j);
+                    }
+                });
+                // Each id is bucketed once, so sorting alone dedups.
+                row.sort_unstable();
+                out.extend(row.into_iter().map(|j| (NodeId(i), NodeId(j as usize))));
+            }
+            out
+        }
+        ReachHint::AllPairs => (0..n)
+            .flat_map(|i| {
+                (0..n)
+                    .filter(move |&j| j != i)
+                    .map(move |j| (NodeId(i), NodeId(j)))
+            })
+            .collect(),
+    }
+}
+
 /// Measures the topology a probing deployment would see over a live
 /// channel: a fresh model instance (same `seed` as the run, so the probe
 /// window previews exactly the run's channel) is advanced probe by probe
-/// while [`estimate_live`](mesh_topology::estimator::LinkEstimator::estimate_live)
-/// counts successes.
+/// while the estimator counts successes over the channel's
+/// [`reach_candidates`] — pairs the channel can never deliver on are
+/// never probed, which is also what keeps city-scale probe windows at
+/// O(links · probes) draws.
 ///
 /// This is the experiment the paper could not run — routing on probe-era
 /// beliefs while the air keeps moving underneath.
@@ -671,7 +797,8 @@ pub fn probe_topology(
     interval_us: Time,
 ) -> Topology {
     let mut model = spec.build(topo, seed);
-    est.estimate_live(topo, seed, interval_us, |tx, rx, now| {
+    let candidates = reach_candidates(topo, model.as_ref());
+    est.estimate_live_candidates(topo, seed, interval_us, &candidates, |tx, rx, now| {
         model.tick(now);
         model.delivery(tx, rx, now)
     })
@@ -887,6 +1014,104 @@ mod test {
             }
         }
         assert_eq!(labels[0], "static");
+    }
+
+    #[test]
+    fn reach_hints_match_structure() {
+        let t = generate::testbed(1);
+        for spec in [
+            ChannelSpec::Static,
+            ChannelSpec::bursty_matched(0.1, 0.05, 0.2, 10),
+            ChannelSpec::TimeVarying {
+                amplitude: 0.2,
+                period_ms: 30_000,
+                walk_sigma: 0.02,
+                epoch_ms: 1_000,
+            },
+        ] {
+            assert_eq!(
+                spec.build(&t, 0).reach_hint(),
+                ReachHint::MatrixOnly,
+                "{spec:?}"
+            );
+        }
+        let shadow = ChannelSpec::Shadowing {
+            path_loss_exp: 3.0,
+            sigma_db: 6.0,
+            midpoint_m: 35.0,
+            epoch_ms: 100,
+        }
+        .build(&t, 0);
+        match shadow.reach_hint() {
+            ReachHint::WithinDistance(d) => assert!(d > 35.0, "radius {d} too tight"),
+            h => panic!("shadowing must hint a distance bound, got {h:?}"),
+        }
+    }
+
+    #[test]
+    fn shadowing_delivery_support_stays_within_reach() {
+        // Two nodes 200 m apart sit beyond the +3σ reach radius (≈ 137 m
+        // at ple 3, σ 2 dB, midpoint 30 m): no shadow draw, however
+        // extreme, may deliver — the clamp keeps `may_reach` a strict
+        // superset of the delivery support.
+        let t = generate::line(1, 0.9, 0.0, 200.0);
+        let spec = ChannelSpec::Shadowing {
+            path_loss_exp: 3.0,
+            sigma_db: 2.0,
+            midpoint_m: 30.0,
+            epoch_ms: 100,
+        };
+        let mut c = spec.build(&t, 17);
+        assert!(!c.may_reach(NodeId(0), NodeId(1)));
+        for k in 0..500u64 {
+            let now = k * 100 * crate::MS;
+            c.tick(now);
+            assert_eq!(c.delivery(NodeId(0), NodeId(1), now), 0.0);
+        }
+        assert!(reach_candidates(&t, c.as_ref()).is_empty());
+    }
+
+    #[test]
+    fn reach_candidates_cover_delivery_support() {
+        let t = generate::testbed(1);
+        for spec in [
+            ChannelSpec::Static,
+            ChannelSpec::bursty_matched(0.1, 0.05, 0.2, 10),
+            ChannelSpec::Shadowing {
+                path_loss_exp: 3.0,
+                sigma_db: 6.0,
+                midpoint_m: 35.0,
+                epoch_ms: 100,
+            },
+            ChannelSpec::TimeVarying {
+                amplitude: 0.2,
+                period_ms: 30_000,
+                walk_sigma: 0.02,
+                epoch_ms: 1_000,
+            },
+        ] {
+            let mut c = spec.build(&t, 3);
+            let cands = reach_candidates(&t, c.as_ref());
+            assert!(
+                cands.windows(2).all(|w| w[0] < w[1]),
+                "{spec:?}: candidates must be ascending and unique"
+            );
+            let set: std::collections::BTreeSet<_> = cands.iter().copied().collect();
+            for k in 0..20u64 {
+                let now = k * 50 * crate::MS;
+                c.tick(now);
+                for i in t.nodes() {
+                    for j in t.nodes() {
+                        if i != j && c.delivery(i, j, now) > 0.0 {
+                            assert!(
+                                set.contains(&(i, j)),
+                                "{spec:?}: delivery support escapes candidates at {i}->{j}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,15 @@
 //! relations beyond decodable links (real radios defer to, and are jammed
 //! by, signals too weak to decode).
 //!
+//! All three relations are held as **per-node sorted neighbor lists**
+//! rather than `n × n` matrices, enumerated from the topology's link set,
+//! the channel's [`ReachHint`], and a spatial index over node positions —
+//! so a 10k-node city mesh costs O(nodes + pairs-in-range), not O(n²),
+//! to build and to query. Reception evaluation walks the transmitter's
+//! reachable-candidate list instead of every node; because candidates
+//! are a superset of the channel's delivery support and skipped nodes
+//! consumed no randomness, runs are byte-identical to the dense scan.
+//!
 //! Reception is evaluated when a transmission ends:
 //!
 //! 1. half-duplex — a node that transmitted during any part of the frame
@@ -24,10 +33,15 @@
 
 // xtask: allow(panic_path, file) -- transmission ids are issued by this module and resolved before eviction; per-node vectors are sized to the topology.
 
-use crate::channel::ChannelModel;
+use crate::channel::{ChannelModel, ReachHint};
 use crate::{SimConfig, Time};
+use mesh_topology::spatial::CellGrid;
 use mesh_topology::{NodeId, Topology};
 use rand::Rng;
+
+/// Vertical meters per floor in 3D range computations (matches
+/// `channel`'s constant).
+const FLOOR_HEIGHT_M: f64 = 10.0;
 
 /// A transmission on the air (or recently finished).
 #[derive(Clone, Debug)]
@@ -47,11 +61,16 @@ pub struct Transmission {
 #[must_use]
 pub struct Medium {
     n: usize,
-    /// `sense[a][b]`: a transmission by `a` keeps `b`'s MAC deferring.
-    sense: Vec<Vec<bool>>,
-    /// `interfere[a][r]`: a transmission by `a` collides with frames
-    /// arriving at `r`.
-    interfere: Vec<Vec<bool>>,
+    /// `sense[a]`: sorted ids whose MACs defer to a transmission by `a`.
+    sense: Vec<Vec<u32>>,
+    /// `interfere[a]`: sorted ids at which a transmission by `a` collides
+    /// with arriving frames.
+    interfere: Vec<Vec<u32>>,
+    /// `reach[t]`: sorted reception candidates for transmitter `t` — a
+    /// superset of every node the channel can deliver `t`'s frames to.
+    /// `None` when the channel promises no structure
+    /// ([`ReachHint::AllPairs`]): every node is then a candidate.
+    reach: Option<Vec<Vec<u32>>>,
     /// All transmissions whose `end` is within the retention horizon.
     active: Vec<Transmission>,
     horizon: Time,
@@ -68,32 +87,98 @@ impl Medium {
     /// plausibly decode).
     pub fn new(topo: &Topology, cfg: &SimConfig, chan: &dyn ChannelModel) -> Self {
         let n = topo.n();
-        let mut sense = vec![vec![false; n]; n];
-        let mut interfere = vec![vec![false; n]; n];
-        for a in 0..n {
-            for b in 0..n {
-                if a == b {
-                    continue;
+        // The symmetric "linked" relation: some direction of the pair
+        // carries matrix delivery or channel reachability. Enumerated
+        // from the topology's link set plus the channel's reach hint; the
+        // historical O(n²) pair scan remains only for channels that
+        // promise no structure.
+        let hint = chan.reach_hint();
+        let mut linked: Vec<Vec<u32>> = vec![Vec::new(); n];
+        match hint {
+            ReachHint::MatrixOnly | ReachHint::WithinDistance(_) => {
+                for l in topo.links() {
+                    linked[l.from.0].push(l.to.0 as u32);
+                    linked[l.to.0].push(l.from.0 as u32);
                 }
-                let linked = topo.delivery(NodeId(a), NodeId(b)) > 0.0
-                    || topo.delivery(NodeId(b), NodeId(a)) > 0.0
-                    || chan.may_reach(NodeId(a), NodeId(b))
-                    || chan.may_reach(NodeId(b), NodeId(a));
-                let (in_cs, in_int) = match topo.positions() {
-                    Some(pos) => {
-                        let d = pos[a].distance(&pos[b], 10.0);
-                        (d <= cfg.carrier_sense_range, d <= cfg.interference_range)
+                if let ReachHint::WithinDistance(d) = hint {
+                    let pos = topo
+                        .positions()
+                        .expect("WithinDistance reach hint requires node positions");
+                    let grid = CellGrid::from_positions(pos, d);
+                    for (a, row) in linked.iter_mut().enumerate() {
+                        grid.for_each_candidate(pos[a].x, pos[a].y, d, |b| {
+                            let (na, nb) = (NodeId(a), NodeId(b as usize));
+                            if b as usize != a && (chan.may_reach(na, nb) || chan.may_reach(nb, na))
+                            {
+                                row.push(b);
+                            }
+                        });
                     }
-                    None => (false, false),
-                };
-                sense[a][b] = linked || in_cs;
-                interfere[a][b] = linked || in_int;
+                }
             }
+            ReachHint::AllPairs => {
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        let (na, nb) = (NodeId(a), NodeId(b));
+                        if topo.delivery(na, nb) > 0.0
+                            || topo.delivery(nb, na) > 0.0
+                            || chan.may_reach(na, nb)
+                            || chan.may_reach(nb, na)
+                        {
+                            linked[a].push(b as u32);
+                            linked[b].push(a as u32);
+                        }
+                    }
+                }
+            }
+        }
+        for row in &mut linked {
+            row.sort_unstable();
+            row.dedup();
+        }
+        // Reception candidates per transmitter: the linked relation is a
+        // superset of the channel's delivery support in either direction,
+        // so it serves unchanged. With no hint the evaluator scans all
+        // nodes, exactly as before.
+        let reach = match hint {
+            ReachHint::AllPairs => None,
+            _ => Some(linked.clone()),
+        };
+        // Range-based extension from node positions: pairs within
+        // carrier-sense range defer, pairs within interference range jam,
+        // decodable or not.
+        let mut sense = linked.clone();
+        let mut interfere = linked;
+        if let Some(pos) = topo.positions() {
+            let r_max = cfg.carrier_sense_range.max(cfg.interference_range);
+            if r_max > 0.0 {
+                let grid = CellGrid::from_positions(pos, r_max);
+                for a in 0..n {
+                    grid.for_each_candidate(pos[a].x, pos[a].y, r_max, |b| {
+                        let b = b as usize;
+                        if b == a {
+                            return;
+                        }
+                        let d = pos[a].distance(&pos[b], FLOOR_HEIGHT_M);
+                        if d <= cfg.carrier_sense_range {
+                            sense[a].push(b as u32);
+                        }
+                        if d <= cfg.interference_range {
+                            interfere[a].push(b as u32);
+                        }
+                    });
+                }
+            }
+        }
+        for row in sense.iter_mut().chain(interfere.iter_mut()) {
+            row.sort_unstable();
+            row.dedup();
         }
         Medium {
             n,
             sense,
             interfere,
+            reach,
             active: Vec::new(),
             horizon: 100 * crate::MS,
             overlap_idx: Vec::new(),
@@ -108,13 +193,13 @@ impl Medium {
     /// Does a transmission by `a` keep `b` deferring?
     #[inline]
     pub fn senses(&self, a: NodeId, b: NodeId) -> bool {
-        self.sense[a.0][b.0]
+        self.sense[a.0].binary_search(&(b.0 as u32)).is_ok()
     }
 
     /// Does a transmission by `a` interfere at receiver `r`?
     #[inline]
     pub fn interferes(&self, a: NodeId, r: NodeId) -> bool {
-        self.interfere[a.0][r.0]
+        self.interfere[a.0].binary_search(&(r.0 as u32)).is_ok()
     }
 
     /// Registers a transmission starting now.
@@ -204,7 +289,24 @@ impl Medium {
                 .filter(|(_, t)| t.id != f.id && overlaps(t, &f))
                 .map(|(i, _)| i),
         );
-        for r in 0..self.n {
+        // Walk the transmitter's reception-candidate list (sorted, so the
+        // same ascending order as the historical 0..n scan). Nodes not on
+        // the list have `p = 0` at every instant — the dense scan skipped
+        // them before touching the RNG, so the draw sequence is
+        // byte-identical.
+        let mut sparse_iter;
+        let mut dense_iter;
+        let candidates: &mut dyn Iterator<Item = usize> = match self.reach.as_ref() {
+            Some(rows) => {
+                sparse_iter = rows[f.tx.0].iter().map(|&r| r as usize);
+                &mut sparse_iter
+            }
+            None => {
+                dense_iter = 0..self.n;
+                &mut dense_iter
+            }
+        };
+        for r in candidates {
             let r = NodeId(r);
             if r == f.tx {
                 continue;
@@ -494,6 +596,91 @@ mod test {
         let m = Medium::new(&t, &cfg(), shadow.as_ref());
         assert!(m.senses(NodeId(0), NodeId(2)));
         assert!(m.interferes(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn sparse_relations_match_dense_scan() {
+        // The neighbor-list relations must equal the historical O(n²)
+        // formula for every pair, for matrix-backed and geometry-driven
+        // channels alike.
+        let t = generate::testbed(1);
+        let shadow = ChannelSpec::Shadowing {
+            path_loss_exp: 3.0,
+            sigma_db: 8.0,
+            midpoint_m: 40.0,
+            epoch_ms: 100,
+        }
+        .build(&t, 0);
+        let cfg = cfg();
+        for ch in [chan(&t), shadow] {
+            let m = Medium::new(&t, &cfg, ch.as_ref());
+            let pos = t.positions().expect("testbed has positions");
+            for a in t.nodes() {
+                assert!(!m.senses(a, a));
+                assert!(!m.interferes(a, a));
+                for b in t.nodes() {
+                    if a == b {
+                        continue;
+                    }
+                    let linked = t.delivery(a, b) > 0.0
+                        || t.delivery(b, a) > 0.0
+                        || ch.may_reach(a, b)
+                        || ch.may_reach(b, a);
+                    let d = pos[a.0].distance(&pos[b.0], 10.0);
+                    assert_eq!(
+                        m.senses(a, b),
+                        linked || d <= cfg.carrier_sense_range,
+                        "sense {a} -> {b}"
+                    );
+                    assert_eq!(
+                        m.interferes(a, b),
+                        linked || d <= cfg.interference_range,
+                        "interfere {a} -> {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A channel with no structural promise: every distinct pair reaches.
+    struct Omni;
+    impl ChannelModel for Omni {
+        fn delivery(&self, tx: NodeId, rx: NodeId, _now: Time) -> f64 {
+            if tx == rx {
+                0.0
+            } else {
+                0.3
+            }
+        }
+        fn may_reach(&self, tx: NodeId, rx: NodeId) -> bool {
+            tx != rx
+        }
+        // reach_hint deliberately left at the AllPairs default.
+    }
+
+    #[test]
+    fn unhinted_channel_falls_back_to_all_pairs() {
+        let t = line5();
+        let mut m = Medium::new(&t, &cfg(), &Omni);
+        // may_reach links even the 120 m pair the matrix lacks.
+        assert!(m.senses(NodeId(0), NodeId(4)));
+        assert!(m.interferes(NodeId(4), NodeId(0)));
+        // Reception still considers every node: over enough trials the
+        // far end of the line must decode something.
+        m.begin(Transmission {
+            id: 1,
+            tx: NodeId(0),
+            start: 0,
+            end: 100,
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let (mut col, mut cap) = (0, 0);
+        let mut far_heard = false;
+        for _ in 0..100 {
+            let rx = m.evaluate_reception(1, &Omni, &cfg(), &mut rng, &mut col, &mut cap);
+            far_heard |= rx.contains(&NodeId(4));
+        }
+        assert!(far_heard, "all-pairs fallback must reach node 4");
     }
 
     #[test]

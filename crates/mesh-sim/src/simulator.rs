@@ -190,6 +190,11 @@ pub struct Simulator<A: NodeAgent> {
     /// How many of the pending actions are `Start`s (fast path for the
     /// stop-condition gate: only future *arrivals* can un-resolve a run).
     pending_starts: usize,
+    /// Arrival times of pending `Start`s, descending (earliest at the
+    /// back), rebuilt by [`Simulator::run_with_traffic`] — the stop gate
+    /// peeks the back instead of scanning the whole action list per
+    /// event, keeping 500-flow city runs O(1) per event here.
+    start_times_desc: Vec<Time>,
     /// Scratch for [`Ctx::set_timer`] requests, reused across callbacks so
     /// the per-event hot path allocates nothing.
     scratch_timers: Vec<(NodeId, Time, u64)>,
@@ -355,6 +360,7 @@ impl<A: NodeAgent> Simulator<A> {
             traffic: Vec::new(),
             traffic_seq: 0,
             pending_starts: 0,
+            start_times_desc: Vec::new(),
             scratch_timers: Vec::new(),
             scratch_kicks: Vec::new(),
             scratch_receivers: Vec::new(),
@@ -877,6 +883,13 @@ impl<A: FlowAgent> Simulator<A> {
         }
         // Descending (time, seq): the earliest action sits at the back.
         self.traffic.sort_by_key(|&(t, s, _)| Reverse((t, s)));
+        // Starts are applied earliest-first, so their times form a stack.
+        self.start_times_desc = self
+            .traffic
+            .iter()
+            .filter(|(_, _, a)| matches!(a, TrafficAction::Start(_)))
+            .map(|&(t, _, _)| t)
+            .collect();
         loop {
             // Apply every traffic action due before the next engine event.
             let next_engine = self.queue.peek().map(|Reverse((t, _, _))| *t);
@@ -925,17 +938,14 @@ impl<A: FlowAgent> Simulator<A> {
     /// flow, so waiting for one would only inflate the reported run time
     /// past the instant everything finished.
     fn traffic_drained(&self, deadline: Time) -> bool {
-        self.pending_starts == 0
-            || !self
-                .traffic
-                .iter()
-                .any(|(t, _, a)| *t <= deadline && matches!(a, TrafficAction::Start(_)))
+        self.pending_starts == 0 || self.start_times_desc.last().is_none_or(|&t| t > deadline)
     }
 
     fn apply_traffic(&mut self, action: TrafficAction) {
         match action {
             TrafficAction::Start(desc) => {
                 self.pending_starts -= 1;
+                self.start_times_desc.pop();
                 let src = desc.src;
                 let index = self.agent.add_flow(&desc);
                 // Registry-built protocols assign flow id = index + 1,

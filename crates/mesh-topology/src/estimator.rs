@@ -17,7 +17,7 @@
 
 // xtask: allow(panic_path, file) -- probe-window tallies are sized to the topology's node count and indexed by validated NodeIds.
 
-use crate::{NodeId, Topology};
+use crate::{Link, NodeId, Topology};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -50,34 +50,32 @@ impl LinkEstimator {
     ///
     /// Deterministic in `seed`. The returned topology preserves node count
     /// and positions; only delivery probabilities are perturbed.
-    #[allow(clippy::needless_range_loop)] // index pairs (i,j) address a square matrix
+    ///
+    /// Probes only the truth topology's links — sparse meshes cost
+    /// O(E · probes) RNG draws, not O(n² · probes). The draw sequence is
+    /// identical to the historical row-major matrix scan, which skipped
+    /// zero-probability pairs before drawing anything.
     pub fn estimate(&self, truth: &Topology, seed: u64) -> Topology {
         assert!(self.probes > 0, "need at least one probe");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let n = truth.n();
-        let mut m = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                let p = truth.matrix()[i][j];
-                if p <= 0.0 {
-                    continue;
-                }
-                let mut successes = 0u32;
-                for _ in 0..self.probes {
-                    if rng.gen::<f64>() < p {
-                        successes += 1;
-                    }
-                }
-                let est = successes as f64 / self.probes as f64;
-                if est >= self.min_delivery {
-                    m[i][j] = est;
+        let mut links = Vec::new();
+        for l in truth.links() {
+            let mut successes = 0u32;
+            for _ in 0..self.probes {
+                if rng.gen::<f64>() < l.delivery {
+                    successes += 1;
                 }
             }
+            let est = successes as f64 / self.probes as f64;
+            if est >= self.min_delivery {
+                links.push(Link {
+                    from: l.from,
+                    to: l.to,
+                    delivery: est,
+                });
+            }
         }
-        let mut t = Topology::from_matrix(format!("{}-est", truth.name), m);
+        let mut t = Topology::from_links(format!("{}-est", truth.name), truth.n(), links);
         if let Some(pos) = truth.positions() {
             t = t.with_positions(pos.to_vec());
         }
@@ -121,36 +119,67 @@ impl LinkEstimator {
         truth: &Topology,
         seed: u64,
         interval_us: u64,
+        delivery_at: impl FnMut(NodeId, NodeId, u64) -> f64,
+    ) -> Topology {
+        let n = truth.n();
+        let pairs: Vec<(NodeId, NodeId)> = (0..n)
+            .flat_map(|i| {
+                (0..n)
+                    .filter(move |&j| j != i)
+                    .map(move |j| (NodeId(i), NodeId(j)))
+            })
+            .collect();
+        self.estimate_live_candidates(truth, seed, interval_us, &pairs, delivery_at)
+    }
+
+    /// Windowed probing restricted to the given ordered `candidates`
+    /// (distinct pairs; any order — each round probes them in slice
+    /// order).
+    ///
+    /// This is the sparse-mesh fast path: when the channel can say which
+    /// pairs *might* ever deliver (its static links plus `may_reach`
+    /// extensions), probing only those keeps the window at
+    /// O(candidates · probes) draws. The caller must pass a superset of
+    /// every pair the callback can report non-zero for — unprobed pairs
+    /// are simply never heard, exactly as a real prober never hears a
+    /// node outside radio range. With the full ordered-pair list this is
+    /// [`LinkEstimator::estimate_live`], draw for draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `probes` is zero or a candidate pair repeats.
+    pub fn estimate_live_candidates(
+        &self,
+        truth: &Topology,
+        seed: u64,
+        interval_us: u64,
+        candidates: &[(NodeId, NodeId)],
         mut delivery_at: impl FnMut(NodeId, NodeId, u64) -> f64,
     ) -> Topology {
         assert!(self.probes > 0, "need at least one probe");
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ PROBE_STREAM);
-        let n = truth.n();
-        let mut successes = vec![0u32; n * n];
+        let mut successes = vec![0u32; candidates.len()];
         for round in 0..self.probes {
             let now = round as u64 * interval_us;
-            for i in 0..n {
-                for j in 0..n {
-                    if i == j {
-                        continue;
-                    }
-                    let p = delivery_at(NodeId(i), NodeId(j), now);
-                    if rng.gen::<f64>() < p {
-                        successes[i * n + j] += 1;
-                    }
+            for (k, &(i, j)) in candidates.iter().enumerate() {
+                let p = delivery_at(i, j, now);
+                if rng.gen::<f64>() < p {
+                    successes[k] += 1;
                 }
             }
         }
-        let mut m = vec![vec![0.0; n]; n];
-        for (i, row) in m.iter_mut().enumerate() {
-            for (j, cell) in row.iter_mut().enumerate() {
-                let est = successes[i * n + j] as f64 / self.probes as f64;
-                if est >= self.min_delivery {
-                    *cell = est;
-                }
+        let mut links = Vec::new();
+        for (k, &(i, j)) in candidates.iter().enumerate() {
+            let est = successes[k] as f64 / self.probes as f64;
+            if est >= self.min_delivery {
+                links.push(Link {
+                    from: i,
+                    to: j,
+                    delivery: est,
+                });
             }
         }
-        let mut t = Topology::from_matrix(format!("{}-est", truth.name), m);
+        let mut t = Topology::from_links(format!("{}-est", truth.name), truth.n(), links);
         if let Some(pos) = truth.positions() {
             t = t.with_positions(pos.to_vec());
         }
@@ -270,6 +299,23 @@ mod test {
         };
         let believed = est.estimate_live(&truth, 1, 1_000, |_, _, _| 0.8);
         assert!(believed.delivery(crate::NodeId(1), crate::NodeId(0)) > 0.7);
+    }
+
+    #[test]
+    fn candidate_probing_only_hears_candidates() {
+        let truth = generate::line(2, 0.8, 0.0, 30.0);
+        let est = LinkEstimator {
+            probes: 500,
+            min_delivery: 0.05,
+        };
+        let cands = vec![(NodeId(0), NodeId(1))];
+        let believed = est
+            .estimate_live_candidates(&truth, 3, 1_000, &cands, |tx, rx, _| truth.delivery(tx, rx));
+        assert!(believed.delivery(NodeId(0), NodeId(1)) > 0.7);
+        // Pairs outside the candidate set are never probed, even though
+        // the callback would report them as live.
+        assert_eq!(believed.delivery(NodeId(1), NodeId(0)), 0.0);
+        assert_eq!(believed.delivery(NodeId(1), NodeId(2)), 0.0);
     }
 
     #[test]

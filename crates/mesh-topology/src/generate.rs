@@ -14,7 +14,8 @@
 
 // xtask: allow(panic_path, file) -- grid and position vectors are sized from the node count computed in the same function; panicking after 512 rejected attempts is the documented contract for statistically impossible seeds.
 
-use crate::{NodeId, Position, Topology};
+use crate::spatial::CellGrid;
+use crate::{Link, NodeId, Position, Topology};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -123,11 +124,11 @@ pub fn diamond(k: usize, p: f64) -> Topology {
 pub fn diamond_symmetricized(k: usize, p: f64) -> Topology {
     let base = diamond(k, p);
     let n = base.n();
+    let bm = base.matrix();
     let mut m = vec![vec![0.0; n]; n];
     for i in 0..n {
         for j in 0..n {
-            let f = base.matrix()[i][j].max(base.matrix()[j][i]);
-            m[i][j] = f;
+            m[i][j] = bm[i][j].max(bm[j][i]);
         }
     }
     // One collision domain: the Chapter-5 model assumes transmissions do
@@ -244,6 +245,13 @@ pub fn matrix_from_positions(
 
 /// Scatters `n` nodes over `floors` storeys of a `width × depth` meter
 /// building with a minimum pairwise separation (rejection sampling).
+///
+/// The same-floor separation check runs against a per-floor [`CellGrid`]
+/// so each attempt costs O(points-in-nearby-cells) instead of O(placed).
+/// The accept/reject decision — and therefore the RNG draw sequence and
+/// the returned layout — is identical to the historical linear scan: the
+/// check consumes no randomness, and the grid merely narrows which
+/// already-placed points the exact distance predicate visits.
 pub fn scatter_positions(
     n: usize,
     floors: i32,
@@ -253,6 +261,9 @@ pub fn scatter_positions(
     rng: &mut impl Rng,
 ) -> Vec<Position> {
     let mut positions: Vec<Position> = Vec::with_capacity(n);
+    let mut grids: Vec<CellGrid> = (0..floors.max(1))
+        .map(|_| CellGrid::new(0.0, 0.0, width, depth, min_separation))
+        .collect();
     let mut attempts = 0;
     while positions.len() < n {
         attempts += 1;
@@ -261,10 +272,16 @@ pub fn scatter_positions(
             y: rng.gen::<f64>() * depth,
             floor: (positions.len() as i32) % floors,
         };
-        let ok = positions
-            .iter()
-            .all(|p| p.floor != candidate.floor || p.distance(&candidate, 0.0) >= min_separation);
+        let grid = &mut grids[candidate.floor as usize];
+        let mut ok = true;
+        grid.for_each_candidate(candidate.x, candidate.y, min_separation, |id| {
+            let p = &positions[id as usize];
+            if p.distance(&candidate, 0.0) < min_separation {
+                ok = false;
+            }
+        });
         if ok || attempts > 200 * n {
+            grid.insert(positions.len() as u32, candidate.x, candidate.y);
             positions.push(candidate);
         }
     }
@@ -295,7 +312,9 @@ impl Default for TestbedTargets {
     }
 }
 
-pub use crate::streams::{MESH_ATTEMPT_STREAM, TESTBED_ATTEMPT_STREAM};
+pub use crate::streams::{
+    CITY_LINK_STREAM, CITY_SCATTER_STREAM, MESH_ATTEMPT_STREAM, TESTBED_ATTEMPT_STREAM,
+};
 
 /// A 20-node, 3-floor indoor testbed statistically matched to §4.1.
 ///
@@ -326,9 +345,7 @@ pub fn testbed_sized(n: usize, seed: u64) -> Topology {
         }
         let max_hops = topo
             .nodes()
-            .flat_map(|a| topo.nodes().map(move |b| (a, b)))
-            .filter(|(a, b)| a != b)
-            .filter_map(|(a, b)| topo.hop_count(a, b))
+            .flat_map(|a| topo.hops_from(a).into_iter().flatten())
             .max()
             .unwrap_or(0);
         if max_hops < targets.max_hops_lo || max_hops > targets.max_hops_hi {
@@ -352,6 +369,92 @@ pub fn random_mesh(n: usize, width: f64, depth: f64, seed: u64) -> Topology {
         }
     }
     panic!("random mesh generation failed to connect after 512 attempts (seed {seed})");
+}
+
+/// splitmix64 finalizer: decorrelates consecutive pair indices into
+/// well-spread RNG seeds.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed for the unordered pair `(i, j)`, `i < j`: a pure function of the
+/// city seed and the pair, so link draws do not depend on the order in
+/// which the spatial grid enumerates candidates.
+fn city_pair_seed(seed: u64, i: usize, j: usize) -> u64 {
+    seed ^ CITY_LINK_STREAM ^ mix64(((i as u64) << 32) | j as u64)
+}
+
+/// Largest ground distance at which any shadowing/asymmetry draw can
+/// still produce a link under `model`: beyond it, even the luckiest
+/// Irwin–Hall shadow (−6σ) and asymmetry (×1.1) leave both directions
+/// under `min_delivery`.
+fn max_link_distance(model: &RadioModel) -> f64 {
+    // Logistic inverse at `min_delivery / 1.1` — conservatively below
+    // the true weakest passable probability (asymmetry can only shrink
+    // the weaker direction, so `min_delivery` itself would suffice) —
+    // plus the maximum favorable shadow.
+    let q = model.min_delivery / 1.1;
+    let d_eff_max = model.half_distance + model.spread * (1.0 / q - 1.0).ln();
+    d_eff_max + 6.0 * model.shadowing_sigma
+}
+
+/// A city-scale single-floor mesh: `n` nodes at ~1250 m² per node, links
+/// drawn from the default [`RadioModel`] with *per-pair* RNG streams.
+///
+/// Unlike [`random_mesh`], this generator never materializes an `n × n`
+/// matrix and never retries for connectivity — sparse city meshes
+/// legitimately contain dead spots, and at 10k+ nodes a connectivity
+/// requirement would reject almost every layout. Candidate pairs come
+/// from a [`CellGrid`] query bounded by the model's maximum plausible
+/// link distance; each unordered pair draws its shadowing and asymmetry
+/// from its own ChaCha8 stream (the run seed xor `CITY_LINK_STREAM`
+/// mixed with the pair index), so the result is a pure function of
+/// `(n, seed)` regardless of grid enumeration order.
+pub fn city_mesh(n: usize, seed: u64) -> Topology {
+    assert!(n >= 1, "need at least one node");
+    let model = RadioModel::default();
+    let side = ((n as f64) * 1250.0).sqrt();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ CITY_SCATTER_STREAM);
+    let positions = scatter_positions(n, 1, side, side, 4.0, &mut rng);
+    let r_max = max_link_distance(&model);
+    let grid = CellGrid::from_positions(&positions, r_max);
+    let mut links = Vec::new();
+    for i in 0..n {
+        let pi = positions[i];
+        grid.for_each_candidate(pi.x, pi.y, r_max, |jj| {
+            let j = jj as usize;
+            if j <= i {
+                return;
+            }
+            let base = pi.distance(&positions[j], model.floor_penalty);
+            if base > r_max {
+                return;
+            }
+            // xtask: allow(rng_stream) -- city_pair_seed is the run seed ^ CITY_LINK_STREAM mixed with the unordered pair index (a per-pair stream; see streams.rs).
+            let mut pair_rng = ChaCha8Rng::seed_from_u64(city_pair_seed(seed, i, j));
+            let shadow = approx_normal(&mut pair_rng) * model.shadowing_sigma;
+            let d_eff = (base + shadow).max(0.0);
+            let p = model.delivery_at(d_eff);
+            let asym = 1.0 + 0.05 * approx_normal(&mut pair_rng).clamp(-2.0, 2.0);
+            let pij = (p * asym).clamp(0.0, model.max_delivery);
+            let pji = (p / asym).clamp(0.0, model.max_delivery);
+            if pij >= model.min_delivery && pji >= model.min_delivery {
+                links.push(Link {
+                    from: NodeId(i),
+                    to: NodeId(j),
+                    delivery: pij,
+                });
+                links.push(Link {
+                    from: NodeId(j),
+                    to: NodeId(i),
+                    delivery: pji,
+                });
+            }
+        });
+    }
+    Topology::from_links(format!("city{n}-s{seed}"), n, links).with_positions(positions)
 }
 
 /// A `w × h` grid with adjacent delivery `p_adj` and diagonal delivery
@@ -527,6 +630,67 @@ mod test {
         assert_eq!(t.delivery(NodeId(0), NodeId(4)), 0.4);
         assert_eq!(t.delivery(NodeId(0), NodeId(5)), 0.0);
         assert!(t.is_connected());
+    }
+
+    #[test]
+    fn city_mesh_deterministic_and_sparse() {
+        let a = city_mesh(200, 9);
+        let b = city_mesh(200, 9);
+        assert_eq!(a.matrix(), b.matrix());
+        assert_ne!(a.matrix(), city_mesh(200, 10).matrix());
+        assert_eq!(a.n(), 200);
+        assert!(a.positions().is_some());
+        // ~1250 m²/node with a ~57 m link radius keeps degree bounded:
+        // the link set must be far below the dense n² ceiling.
+        assert!(
+            a.link_count() < 40 * a.n(),
+            "city mesh is not sparse: {} links",
+            a.link_count()
+        );
+        assert!(a.link_count() > 0, "city mesh has no links at all");
+    }
+
+    #[test]
+    fn city_mesh_matches_all_pairs_reference() {
+        // The grid only narrows which pairs are *examined*; per-pair RNG
+        // seeding makes the outcome identical to brute-force enumeration.
+        let n = 60;
+        let seed = 4;
+        let t = city_mesh(n, seed);
+        let model = RadioModel::default();
+        let positions = t.positions().unwrap();
+        let r_max = max_link_distance(&model);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let base = positions[i].distance(&positions[j], model.floor_penalty);
+                let (mut pij, mut pji) = (0.0, 0.0);
+                if base <= r_max {
+                    let mut rng = ChaCha8Rng::seed_from_u64(city_pair_seed(seed, i, j));
+                    let shadow = approx_normal(&mut rng) * model.shadowing_sigma;
+                    let p = model.delivery_at((base + shadow).max(0.0));
+                    let asym = 1.0 + 0.05 * approx_normal(&mut rng).clamp(-2.0, 2.0);
+                    let a = (p * asym).clamp(0.0, model.max_delivery);
+                    let b = (p / asym).clamp(0.0, model.max_delivery);
+                    if a >= model.min_delivery && b >= model.min_delivery {
+                        (pij, pji) = (a, b);
+                    }
+                }
+                assert_eq!(t.delivery(NodeId(i), NodeId(j)), pij, "({i},{j})");
+                assert_eq!(t.delivery(NodeId(j), NodeId(i)), pji, "({j},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn beyond_max_link_distance_no_draw_can_link() {
+        let model = RadioModel::default();
+        let d = max_link_distance(&model);
+        // Even with the most favorable possible shadow (−6σ) the base
+        // probability is already below the floor, and asymmetry can only
+        // shrink the weaker direction (min(p·a, p/a) ≤ p), so no draw at
+        // distance ≥ d can produce a link.
+        let p = model.delivery_at((d - 6.0 * model.shadowing_sigma).max(0.0));
+        assert!(p < model.min_delivery);
     }
 
     #[test]

@@ -7,22 +7,31 @@
 //! the loss-independence assumption the thesis adopts from prior
 //! measurement studies.
 //!
+//! The link set is stored sparsely: CSR (compressed sparse row) adjacency
+//! grouped by transmitter *and* by receiver, each row sorted by neighbor
+//! id, so city-scale meshes (10k+ nodes, bounded degree) cost O(n + E)
+//! memory instead of the O(n²) a dense matrix would. Dense matrices
+//! survive as compatibility constructors/views ([`Topology::from_matrix`],
+//! [`Topology::matrix`]).
+//!
 //! Nodes may carry physical [`Position`]s (used by the testbed generator,
 //! the simulator's carrier-sense/interference ranges, and the Fig 4-1 map);
 //! matrix-only topologies (e.g. the Fig 5-1 diamond) work without them.
 //!
 //! Generators for every topology the paper uses live in [`generate`]; the
 //! probing-based link estimator that stands in for Roofnet's ETX
-//! measurement module is in [`estimator`].
+//! measurement module is in [`estimator`]; the spatial hash the geometric
+//! generators use to find candidate neighbors in O(cell) is in [`spatial`].
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-// xtask: allow(panic_path, file) -- ascii-art grid cells are bounded by the extent computed from the same node positions; adjacency rows are sized to the node count at construction.
+// xtask: allow(panic_path, file) -- ascii-art grid cells are bounded by the extent computed from the same node positions; CSR rows are sized to the node count at construction.
 
 pub mod estimator;
 pub mod generate;
 pub mod json;
+pub mod spatial;
 pub mod streams;
 
 use std::fmt;
@@ -76,19 +85,69 @@ pub struct Link {
     pub delivery: f64,
 }
 
-/// A lossy wireless mesh: `n` nodes and an `n × n` delivery matrix.
+/// A lossy wireless mesh: `n` nodes and a sparse directed link set.
+///
+/// Stored as two CSR adjacency views — out-links grouped by transmitter
+/// and in-links grouped by receiver — with neighbor ids ascending within
+/// each row. [`Topology::delivery`] is a binary search in the out-row;
+/// [`Topology::neighbors_out`]/[`Topology::neighbors_in`] iterate rows in
+/// sorted-by-`NodeId` order, which keeps every consumer's RNG draw order
+/// independent of node positions or construction order.
 #[derive(Clone, Debug)]
 pub struct Topology {
     /// Human-readable label ("testbed", "line4", …).
     pub name: String,
-    /// `delivery[i][j]` = p_ij; diagonal is unused and kept at 0.
-    delivery: Vec<Vec<f64>>,
+    /// Node count.
+    n: usize,
+    /// CSR row offsets into `out_nbr`/`out_p`; length `n + 1`.
+    out_start: Vec<u32>,
+    /// Receiver ids grouped by transmitter, ascending within each row.
+    out_nbr: Vec<u32>,
+    /// Delivery probabilities parallel to `out_nbr`.
+    out_p: Vec<f64>,
+    /// CSR row offsets into `in_nbr`/`in_p`; length `n + 1`.
+    in_start: Vec<u32>,
+    /// Transmitter ids grouped by receiver, ascending within each row.
+    in_nbr: Vec<u32>,
+    /// Delivery probabilities parallel to `in_nbr`.
+    in_p: Vec<f64>,
     /// Optional physical layout, parallel to node indices.
     positions: Option<Vec<Position>>,
 }
 
+/// First invalid link in `links` for an `n`-node mesh, as a message.
+fn link_error(n: usize, links: &[Link]) -> Option<String> {
+    for l in links {
+        if l.from.0 >= n || l.to.0 >= n {
+            return Some(format!(
+                "link {} -> {} out of range for n = {n}",
+                l.from, l.to
+            ));
+        }
+        if l.from == l.to {
+            return Some(format!("self-loop at {}", l.from));
+        }
+        if !(l.delivery > 0.0 && l.delivery <= 1.0) {
+            return Some(format!(
+                "link {} -> {} delivery {} outside (0,1]",
+                l.from, l.to, l.delivery
+            ));
+        }
+    }
+    None
+}
+
+/// First duplicated ordered pair in `(from, to)`-sorted `links`.
+fn dup_error(sorted: &[Link]) -> Option<String> {
+    sorted.windows(2).find_map(|w| {
+        ((w[0].from, w[0].to) == (w[1].from, w[1].to))
+            .then(|| format!("duplicate link {} -> {}", w[0].from, w[0].to))
+    })
+}
+
 impl Topology {
-    /// Builds a topology from a delivery matrix.
+    /// Builds a topology from a dense delivery matrix (compatibility
+    /// constructor; internally converts to CSR).
     ///
     /// # Panics
     ///
@@ -96,6 +155,7 @@ impl Topology {
     /// `[0, 1]`, or a diagonal entry is non-zero.
     pub fn from_matrix(name: impl Into<String>, delivery: Vec<Vec<f64>>) -> Self {
         let n = delivery.len();
+        let mut links = Vec::new();
         for (i, row) in delivery.iter().enumerate() {
             assert_eq!(row.len(), n, "delivery matrix is not square");
             for (j, &p) in row.iter().enumerate() {
@@ -106,11 +166,75 @@ impl Topology {
                 if i == j {
                     assert_eq!(p, 0.0, "diagonal delivery[{i}][{i}] must be 0");
                 }
+                if p > 0.0 {
+                    links.push(Link {
+                        from: NodeId(i),
+                        to: NodeId(j),
+                        delivery: p,
+                    });
+                }
             }
         }
+        // Row-major matrix order is already CSR order.
+        Self::from_sorted_links(name.into(), n, links)
+    }
+
+    /// Builds a topology directly from a sparse link list (any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, a delivery probability is
+    /// outside `(0, 1]`, a link is a self-loop, or the same ordered pair
+    /// appears twice.
+    pub fn from_links(name: impl Into<String>, n: usize, mut links: Vec<Link>) -> Self {
+        if let Some(e) = link_error(n, &links) {
+            panic!("{e}");
+        }
+        links.sort_by_key(|l| (l.from.0, l.to.0));
+        if let Some(e) = dup_error(&links) {
+            panic!("{e}");
+        }
+        Self::from_sorted_links(name.into(), n, links)
+    }
+
+    /// CSR assembly from links already sorted by `(from, to)`.
+    fn from_sorted_links(name: String, n: usize, links: Vec<Link>) -> Self {
+        assert!(n < u32::MAX as usize, "node count exceeds u32 index space");
+        let m = links.len();
+        let mut out_start = vec![0u32; n + 1];
+        let mut in_start = vec![0u32; n + 1];
+        for l in &links {
+            out_start[l.from.0 + 1] += 1;
+            in_start[l.to.0 + 1] += 1;
+        }
+        for i in 0..n {
+            out_start[i + 1] += out_start[i];
+            in_start[i + 1] += in_start[i];
+        }
+        let mut out_nbr = Vec::with_capacity(m);
+        let mut out_p = Vec::with_capacity(m);
+        let mut in_nbr = vec![0u32; m];
+        let mut in_p = vec![0.0f64; m];
+        let mut in_fill: Vec<u32> = in_start[..n].to_vec();
+        for l in &links {
+            out_nbr.push(l.to.0 as u32);
+            out_p.push(l.delivery);
+            // Visiting links in ascending `from` fills every in-row in
+            // ascending source order, so both views end up sorted.
+            let slot = in_fill[l.to.0] as usize;
+            in_nbr[slot] = l.from.0 as u32;
+            in_p[slot] = l.delivery;
+            in_fill[l.to.0] += 1;
+        }
         Topology {
-            name: name.into(),
-            delivery,
+            name,
+            n,
+            out_start,
+            out_nbr,
+            out_p,
+            in_start,
+            in_nbr,
+            in_p,
             positions: None,
         }
     }
@@ -125,18 +249,30 @@ impl Topology {
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {
-        self.delivery.len()
+        self.n
+    }
+
+    /// Number of directed links with non-zero delivery probability.
+    #[inline]
+    pub fn link_count(&self) -> usize {
+        self.out_nbr.len()
     }
 
     /// All node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.n()).map(NodeId)
+        (0..self.n).map(NodeId)
     }
 
     /// Delivery probability `p_ij`; zero when no link exists.
     #[inline]
     pub fn delivery(&self, i: NodeId, j: NodeId) -> f64 {
-        self.delivery[i.0][j.0]
+        debug_assert!(j.0 < self.n, "receiver {j} out of range");
+        let s = self.out_start[i.0] as usize;
+        let e = self.out_start[i.0 + 1] as usize;
+        match self.out_nbr[s..e].binary_search(&(j.0 as u32)) {
+            Ok(k) => self.out_p[s + k],
+            Err(_) => 0.0,
+        }
     }
 
     /// Loss probability `ε_ij = 1 − p_ij`.
@@ -145,9 +281,17 @@ impl Topology {
         1.0 - self.delivery(i, j)
     }
 
-    /// The raw delivery matrix.
-    pub fn matrix(&self) -> &[Vec<f64>] {
-        &self.delivery
+    /// The delivery matrix, densified from the CSR rows.
+    ///
+    /// Compatibility view: allocates `n × n` floats every call, so prefer
+    /// [`Topology::neighbors_out`] / [`Topology::delivery`] at scale.
+    #[must_use = "densifying allocates an n × n matrix"]
+    pub fn matrix(&self) -> Vec<Vec<f64>> {
+        let mut m = vec![vec![0.0; self.n]; self.n];
+        for l in self.links() {
+            m[l.from.0][l.to.0] = l.delivery;
+        }
+        m
     }
 
     /// Physical positions, if the topology has them.
@@ -155,27 +299,45 @@ impl Topology {
         self.positions.as_deref()
     }
 
-    /// Out-neighbors of `i`: nodes with `p_ij > 0`.
+    /// Out-neighbors of `i`: nodes with `p_ij > 0`, ascending by id.
     pub fn neighbors(&self, i: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.delivery[i.0]
-            .iter()
-            .enumerate()
-            .filter(|(_, &p)| p > 0.0)
-            .map(|(j, _)| NodeId(j))
+        let s = self.out_start[i.0] as usize;
+        let e = self.out_start[i.0 + 1] as usize;
+        self.out_nbr[s..e].iter().map(|&j| NodeId(j as usize))
     }
 
-    /// Every directed link with non-zero delivery probability.
+    /// Out-neighbors of `i` with delivery probabilities, ascending by id.
+    pub fn neighbors_out(&self, i: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let s = self.out_start[i.0] as usize;
+        let e = self.out_start[i.0 + 1] as usize;
+        self.out_nbr[s..e]
+            .iter()
+            .zip(&self.out_p[s..e])
+            .map(|(&j, &p)| (NodeId(j as usize), p))
+    }
+
+    /// In-neighbors of `j` (nodes whose transmissions `j` can hear) with
+    /// delivery probabilities, ascending by id.
+    pub fn neighbors_in(&self, j: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let s = self.in_start[j.0] as usize;
+        let e = self.in_start[j.0 + 1] as usize;
+        self.in_nbr[s..e]
+            .iter()
+            .zip(&self.in_p[s..e])
+            .map(|(&i, &p)| (NodeId(i as usize), p))
+    }
+
+    /// Every directed link with non-zero delivery probability, in
+    /// transmitter-major, receiver-ascending order.
     pub fn links(&self) -> impl Iterator<Item = Link> + '_ {
-        (0..self.n()).flat_map(move |i| {
-            self.delivery[i]
-                .iter()
-                .enumerate()
-                .filter(|(_, &p)| p > 0.0)
-                .map(move |(j, &p)| Link {
-                    from: NodeId(i),
-                    to: NodeId(j),
-                    delivery: p,
-                })
+        (0..self.n).flat_map(move |i| {
+            let s = self.out_start[i] as usize;
+            let e = self.out_start[i + 1] as usize;
+            (s..e).map(move |k| Link {
+                from: NodeId(i),
+                to: NodeId(self.out_nbr[k] as usize),
+                delivery: self.out_p[k],
+            })
         })
     }
 
@@ -219,31 +381,120 @@ impl Topology {
         None
     }
 
-    /// True when every node can reach every other node over `p > 0` links.
-    pub fn is_connected(&self) -> bool {
-        let n = self.n();
-        if n <= 1 {
-            return true;
+    /// BFS hop distances from `src` to every node (`None` = unreachable).
+    ///
+    /// One call replaces `n` [`Topology::hop_count`] probes when a whole
+    /// row of distances is needed (connectivity checks, reachable-pair
+    /// enumeration).
+    pub fn hops_from(&self, src: NodeId) -> Vec<Option<usize>> {
+        let mut dist = vec![usize::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.0] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbors(u) {
+                if dist[v.0] == usize::MAX {
+                    dist[v.0] = dist[u.0] + 1;
+                    queue.push_back(v);
+                }
+            }
         }
-        (0..n).all(|i| (0..n).all(|j| i == j || self.hop_count(NodeId(i), NodeId(j)).is_some()))
+        dist.into_iter()
+            .map(|d| (d != usize::MAX).then_some(d))
+            .collect()
     }
 
-    /// Serializes to pretty JSON (hand-rolled; see [`json`]).
+    /// True when every node can reach every other node over `p > 0` links.
+    ///
+    /// Strong connectivity via two BFS passes — everyone reachable *from*
+    /// node 0 over out-links and everyone able to *reach* node 0 over
+    /// in-links — rather than `n²` pairwise searches.
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        self.bfs_covers_all(true) && self.bfs_covers_all(false)
+    }
+
+    /// BFS from node 0 along out-links (`forward`) or in-links; true when
+    /// it visits every node.
+    fn bfs_covers_all(&self, forward: bool) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(NodeId(0));
+        let mut visited = 1usize;
+        while let Some(u) = queue.pop_front() {
+            let (start, nbr) = if forward {
+                (&self.out_start, &self.out_nbr)
+            } else {
+                (&self.in_start, &self.in_nbr)
+            };
+            for &v in &nbr[start[u.0] as usize..start[u.0 + 1] as usize] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    visited += 1;
+                    queue.push_back(NodeId(v as usize));
+                }
+            }
+        }
+        visited == self.n
+    }
+
+    /// Serializes to pretty JSON in the dense `delivery`-matrix form
+    /// (hand-rolled; see [`json`]). Byte-identical to the output of the
+    /// historical dense-matrix implementation.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"name\": \"{}\",\n", json::escape(&self.name)));
         out.push_str("  \"delivery\": [\n");
-        for (i, row) in self.delivery.iter().enumerate() {
+        let mut row = vec![0.0f64; self.n];
+        for i in 0..self.n {
+            for (j, p) in self.neighbors_out(NodeId(i)) {
+                row[j.0] = p;
+            }
             let cells: Vec<String> = row.iter().map(|p| format_f64(*p)).collect();
             out.push_str(&format!("    [{}]", cells.join(", ")));
-            out.push_str(if i + 1 < self.delivery.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
+            out.push_str(if i + 1 < self.n { ",\n" } else { "\n" });
+            for (j, _) in self.neighbors_out(NodeId(i)) {
+                row[j.0] = 0.0;
+            }
         }
         out.push_str("  ],\n");
+        self.push_positions_json(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Serializes to the sparse `links`-array JSON form: `{"name", "n",
+    /// "links": [{"from", "to", "p"}, …], "positions"}`. Reading
+    /// auto-detects either form ([`Topology::from_json`]); this one stays
+    /// O(E) on disk for city-scale meshes.
+    pub fn to_json_sparse(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", json::escape(&self.name)));
+        out.push_str(&format!("  \"n\": {},\n", self.n));
+        out.push_str("  \"links\": [\n");
+        let m = self.out_nbr.len();
+        for (k, l) in self.links().enumerate() {
+            out.push_str(&format!(
+                "    {{\"from\": {}, \"to\": {}, \"p\": {}}}",
+                l.from.0,
+                l.to.0,
+                format_f64(l.delivery)
+            ));
+            out.push_str(if k + 1 < m { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        self.push_positions_json(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// The shared `"positions"` tail of both JSON forms.
+    fn push_positions_json(&self, out: &mut String) {
         match &self.positions {
             None => out.push_str("  \"positions\": null\n"),
             Some(pos) => {
@@ -260,14 +511,14 @@ impl Topology {
                 out.push_str("  ]\n");
             }
         }
-        out.push('}');
-        out
     }
 
-    /// Deserializes from JSON produced by [`Topology::to_json`].
+    /// Deserializes from JSON produced by [`Topology::to_json`] (dense
+    /// `delivery` matrix) or [`Topology::to_json_sparse`] (`links` array);
+    /// the form is auto-detected by which key is present.
     ///
-    /// Validates through [`Topology::from_matrix`], so malformed
-    /// probabilities are rejected rather than smuggled in.
+    /// Validates as the constructors do, but reports malformed input as a
+    /// [`json::JsonError`] instead of panicking.
     pub fn from_json(s: &str) -> Result<Self, json::JsonError> {
         let bad = |msg: &str| json::JsonError {
             offset: 0,
@@ -279,23 +530,80 @@ impl Topology {
             .and_then(|n| n.as_str())
             .ok_or_else(|| bad("missing \"name\""))?
             .to_string();
-        let delivery: Vec<Vec<f64>> = v
-            .get("delivery")
-            .and_then(|d| d.as_arr())
-            .ok_or_else(|| bad("missing \"delivery\""))?
-            .iter()
-            .map(|row| {
-                row.as_arr()
-                    .ok_or_else(|| bad("delivery row is not an array"))?
-                    .iter()
-                    .map(|c| {
-                        c.as_f64()
-                            .ok_or_else(|| bad("delivery cell is not a number"))
+        let mut topo = if let Some(links_v) = v.get("links") {
+            let n_f = v
+                .get("n")
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| bad("sparse form missing \"n\""))?;
+            if n_f < 0.0 || n_f.fract() != 0.0 {
+                return Err(bad("\"n\" is not a non-negative integer"));
+            }
+            let n = n_f as usize;
+            let mut links: Vec<Link> = links_v
+                .as_arr()
+                .ok_or_else(|| bad("\"links\" is not an array"))?
+                .iter()
+                .map(|l| {
+                    let num = |key: &str| {
+                        l.get(key)
+                            .and_then(|x| x.as_f64())
+                            .ok_or_else(|| bad("link missing \"from\"/\"to\"/\"p\""))
+                    };
+                    let idx = |key: &str| {
+                        let v = num(key)?;
+                        if v < 0.0 || v.fract() != 0.0 {
+                            return Err(bad("link endpoint is not a non-negative integer"));
+                        }
+                        Ok(v as usize)
+                    };
+                    Ok(Link {
+                        from: NodeId(idx("from")?),
+                        to: NodeId(idx("to")?),
+                        delivery: num("p")?,
                     })
-                    .collect()
-            })
-            .collect::<Result<_, _>>()?;
-        let mut topo = Topology::from_matrix(name, delivery);
+                })
+                .collect::<Result<_, json::JsonError>>()?;
+            if let Some(e) = link_error(n, &links) {
+                return Err(bad(&e));
+            }
+            links.sort_by_key(|l| (l.from.0, l.to.0));
+            if let Some(e) = dup_error(&links) {
+                return Err(bad(&e));
+            }
+            Topology::from_sorted_links(name, n, links)
+        } else {
+            let delivery: Vec<Vec<f64>> = v
+                .get("delivery")
+                .and_then(|d| d.as_arr())
+                .ok_or_else(|| bad("missing \"delivery\""))?
+                .iter()
+                .map(|row| {
+                    row.as_arr()
+                        .ok_or_else(|| bad("delivery row is not an array"))?
+                        .iter()
+                        .map(|c| {
+                            c.as_f64()
+                                .ok_or_else(|| bad("delivery cell is not a number"))
+                        })
+                        .collect()
+                })
+                .collect::<Result<_, _>>()?;
+            let n = delivery.len();
+            for (i, row) in delivery.iter().enumerate() {
+                if row.len() != n {
+                    return Err(bad("delivery matrix is not square"));
+                }
+                for (j, &p) in row.iter().enumerate() {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(bad("delivery probability outside [0,1]"));
+                    }
+                    if i == j && p != 0.0 {
+                        return Err(bad("diagonal delivery must be 0"));
+                    }
+                }
+            }
+            Topology::from_matrix(name, delivery)
+        };
         match v.get("positions") {
             None | Some(json::Value::Null) => {}
             Some(p) => {
@@ -316,6 +624,9 @@ impl Topology {
                         })
                     })
                     .collect::<Result<_, json::JsonError>>()?;
+                if positions.len() != topo.n() {
+                    return Err(bad("positions length mismatch"));
+                }
                 topo = topo.with_positions(positions);
             }
         }
@@ -409,11 +720,91 @@ mod test {
     fn basic_accessors() {
         let t = tri();
         assert_eq!(t.n(), 3);
+        assert_eq!(t.link_count(), 3);
         assert_eq!(t.delivery(NodeId(0), NodeId(2)), 0.49);
+        assert_eq!(t.delivery(NodeId(2), NodeId(0)), 0.0);
         assert!((t.loss(NodeId(0), NodeId(2)) - 0.51).abs() < 1e-12);
         let nbrs: Vec<_> = t.neighbors(NodeId(0)).collect();
         assert_eq!(nbrs, vec![NodeId(1), NodeId(2)]);
         assert_eq!(t.links().count(), 3);
+    }
+
+    #[test]
+    fn neighbors_in_mirrors_out() {
+        let t = tri();
+        let into_dst: Vec<_> = t.neighbors_in(NodeId(2)).collect();
+        assert_eq!(into_dst, vec![(NodeId(0), 0.49), (NodeId(1), 1.0)]);
+        assert_eq!(t.neighbors_in(NodeId(0)).count(), 0);
+        let out_src: Vec<_> = t.neighbors_out(NodeId(0)).collect();
+        assert_eq!(out_src, vec![(NodeId(1), 1.0), (NodeId(2), 0.49)]);
+    }
+
+    #[test]
+    fn from_links_matches_from_matrix() {
+        let dense = tri();
+        // Deliberately shuffled link order: construction sorts.
+        let sparse = Topology::from_links(
+            "tri",
+            3,
+            vec![
+                Link {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    delivery: 1.0,
+                },
+                Link {
+                    from: NodeId(0),
+                    to: NodeId(2),
+                    delivery: 0.49,
+                },
+                Link {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    delivery: 1.0,
+                },
+            ],
+        );
+        assert_eq!(dense.matrix(), sparse.matrix());
+        assert_eq!(dense.to_json(), sparse.to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_links_rejects_out_of_range() {
+        Topology::from_links(
+            "bad",
+            2,
+            vec![Link {
+                from: NodeId(0),
+                to: NodeId(2),
+                delivery: 0.5,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn from_links_rejects_duplicates() {
+        let l = Link {
+            from: NodeId(0),
+            to: NodeId(1),
+            delivery: 0.5,
+        };
+        Topology::from_links("bad", 2, vec![l, l]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn from_links_rejects_self_loop() {
+        Topology::from_links(
+            "bad",
+            2,
+            vec![Link {
+                from: NodeId(1),
+                to: NodeId(1),
+                delivery: 0.5,
+            }],
+        );
     }
 
     #[test]
@@ -441,6 +832,61 @@ mod test {
         assert_eq!(t.hop_count(NodeId(0), NodeId(2)), Some(1)); // direct weak link
         assert_eq!(t.hop_count(NodeId(2), NodeId(0)), None); // directed
         assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn hops_from_matches_hop_count() {
+        let t = tri();
+        let hops = t.hops_from(NodeId(0));
+        for d in t.nodes() {
+            assert_eq!(hops[d.0], t.hop_count(NodeId(0), d), "dst {d}");
+        }
+        assert_eq!(t.hops_from(NodeId(2)), vec![None, None, Some(0)]);
+    }
+
+    #[test]
+    fn connectivity_is_strong() {
+        // A directed ring is strongly connected; cut one arc and it isn't.
+        let ring = Topology::from_links(
+            "ring",
+            3,
+            vec![
+                Link {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    delivery: 0.9,
+                },
+                Link {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    delivery: 0.9,
+                },
+                Link {
+                    from: NodeId(2),
+                    to: NodeId(0),
+                    delivery: 0.9,
+                },
+            ],
+        );
+        assert!(ring.is_connected());
+        let cut = Topology::from_links(
+            "cut",
+            3,
+            vec![
+                Link {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    delivery: 0.9,
+                },
+                Link {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    delivery: 0.9,
+                },
+            ],
+        );
+        assert!(!cut.is_connected());
+        assert!(Topology::from_links("lonely", 1, vec![]).is_connected());
     }
 
     #[test]
@@ -474,6 +920,95 @@ mod test {
         assert_eq!(back.n(), 3);
         assert_eq!(back.delivery(NodeId(0), NodeId(2)), 0.49);
         assert_eq!(back.positions().unwrap()[2].floor, 1);
+    }
+
+    #[test]
+    fn sparse_json_roundtrip() {
+        let t = tri().with_positions(vec![
+            Position {
+                x: 0.0,
+                y: 0.0,
+                floor: 0,
+            },
+            Position {
+                x: 10.0,
+                y: 0.0,
+                floor: 0,
+            },
+            Position {
+                x: 20.0,
+                y: 5.0,
+                floor: 1,
+            },
+        ]);
+        let s = t.to_json_sparse();
+        let back = Topology::from_json(&s).unwrap();
+        assert_eq!(back.matrix(), t.matrix());
+        assert_eq!(back.positions().unwrap()[2].floor, 1);
+        // Re-serializing the reread topology is byte-stable in both forms.
+        assert_eq!(back.to_json_sparse(), s);
+        assert_eq!(back.to_json(), t.to_json());
+    }
+
+    #[test]
+    fn sparse_json_isolated_node() {
+        // "n" carries nodes the link list never mentions.
+        let t = Topology::from_links(
+            "island",
+            3,
+            vec![Link {
+                from: NodeId(0),
+                to: NodeId(1),
+                delivery: 0.7,
+            }],
+        );
+        let back = Topology::from_json(&t.to_json_sparse()).unwrap();
+        assert_eq!(back.n(), 3);
+        assert_eq!(back.neighbors(NodeId(2)).count(), 0);
+    }
+
+    #[test]
+    fn sparse_json_rejects_malformed() {
+        // Missing "n".
+        assert!(Topology::from_json(r#"{"name": "x", "links": []}"#).is_err());
+        // Link out of range.
+        assert!(Topology::from_json(
+            r#"{"name": "x", "n": 2, "links": [{"from": 0, "to": 5, "p": 0.5}]}"#
+        )
+        .is_err());
+        // Probability outside (0,1].
+        assert!(Topology::from_json(
+            r#"{"name": "x", "n": 2, "links": [{"from": 0, "to": 1, "p": 1.5}]}"#
+        )
+        .is_err());
+        // Self-loop.
+        assert!(Topology::from_json(
+            r#"{"name": "x", "n": 2, "links": [{"from": 1, "to": 1, "p": 0.5}]}"#
+        )
+        .is_err());
+        // Duplicate ordered pair.
+        assert!(Topology::from_json(
+            r#"{"name": "x", "n": 2, "links": [{"from": 0, "to": 1, "p": 0.5}, {"from": 0, "to": 1, "p": 0.6}]}"#
+        )
+        .is_err());
+        // Fractional endpoint.
+        assert!(Topology::from_json(
+            r#"{"name": "x", "n": 2, "links": [{"from": 0.5, "to": 1, "p": 0.5}]}"#
+        )
+        .is_err());
+        // Missing link field.
+        assert!(
+            Topology::from_json(r#"{"name": "x", "n": 2, "links": [{"from": 0, "to": 1}]}"#)
+                .is_err()
+        );
+        // Dense-form errors now surface as Err, not panics.
+        assert!(Topology::from_json(r#"{"name": "x", "delivery": [[0, 2.0], [0, 0]]}"#).is_err());
+        assert!(Topology::from_json(r#"{"name": "x", "delivery": [[0, 1.0], [0]]}"#).is_err());
+        // Positions length mismatch.
+        assert!(Topology::from_json(
+            r#"{"name": "x", "n": 2, "links": [], "positions": [{"x": 0, "y": 0, "floor": 0}]}"#
+        )
+        .is_err());
     }
 
     #[test]

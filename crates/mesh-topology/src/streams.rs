@@ -54,3 +54,15 @@ pub const TESTBED_ATTEMPT_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
 /// Stream constant decorrelating random-mesh retries from the run seed
 /// (`crate::generate::random_mesh`).
 pub const MESH_ATTEMPT_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// XOR'd into the seed of the city-scale generator's node-placement RNG
+/// (`crate::generate::city_mesh`), so scatter draws stay decorrelated
+/// from the per-pair link draws below and from every run-seed consumer.
+pub const CITY_SCATTER_STREAM: u64 = 0xA5C3_91E4_6B2D_8F17;
+
+/// XOR'd (together with a splitmix-mixed pair index) into the per-pair
+/// link RNG of `crate::generate::city_mesh`. Seeding each unordered node
+/// pair independently makes the drawn shadowing/asymmetry — and hence
+/// the generated mesh — independent of the order in which the spatial
+/// grid enumerates candidate neighbors.
+pub const CITY_LINK_STREAM: u64 = 0x3D8E_5A01_C97B_42D9;

@@ -855,6 +855,12 @@ impl ScenarioBuilder {
         let mut cfg = ExpConfig { seed, ..self.base };
         let mut sim_cfg = self.sim;
         let mut topo = self.topology.instantiate(seed);
+        if topo.n() == 0 {
+            return Err(BuildError::Unsupported(format!(
+                "topology {} has no nodes; nothing can be scheduled or routed",
+                topo.name
+            )));
+        }
         let mut traffic = self.traffic.clone();
         let mut chan = self.channel.clone();
         let mut queue = self.queue.clone();
@@ -963,6 +969,11 @@ impl ScenarioBuilder {
                 BuildError::InvalidSchedule(format!("traffic model {:?}: {e}", self.traffic))
             })?;
             let windows = flow_windows(&schedule);
+            // Degenerate endpoints — out-of-range nodes, self-flows,
+            // unreachable (src, dst) pairs on single-node or partitioned
+            // meshes — must surface as grid errors, not ETX/EOTX panics
+            // inside the factory.
+            validate_endpoints(routing_topo, &windows)?;
             // Flows arriving at t = 0 are installed at construction — the
             // legacy path, byte-identical for static workloads; the rest
             // are injected mid-run through the agent's lifecycle hooks.
@@ -1001,6 +1012,54 @@ impl ScenarioBuilder {
         }
         Ok(records)
     }
+}
+
+/// Rejects flows no protocol can route: endpoints outside the topology,
+/// self-flows, and (src, dst) pairs with no `p > 0` path in the routing
+/// topology. ETX/EOTX table and forwarder-plan extraction assume a
+/// finite-cost path; without this check a degenerate single-node mesh,
+/// a partitioned city layout, or a probe window that lost the last link
+/// to a destination panics deep inside a worker thread instead of
+/// surfacing a [`BuildError`] from the grid.
+fn validate_endpoints(topo: &Topology, windows: &[FlowWindow]) -> Result<(), BuildError> {
+    let n = topo.n();
+    // One BFS per distinct source, shared across its flows.
+    let mut reach: BTreeMap<usize, Vec<Option<usize>>> = BTreeMap::new();
+    for w in windows {
+        let f = &w.spec;
+        if f.src.0 >= n {
+            return Err(BuildError::Unsupported(format!(
+                "flow source {} is outside topology {} ({n} nodes)",
+                f.src, topo.name
+            )));
+        }
+        let hops = reach
+            .entry(f.src.0)
+            .or_insert_with(|| topo.hops_from(f.src));
+        for &d in &f.dsts {
+            if d.0 >= n {
+                return Err(BuildError::Unsupported(format!(
+                    "flow destination {d} is outside topology {} ({n} nodes)",
+                    topo.name
+                )));
+            }
+            if d == f.src {
+                return Err(BuildError::Unsupported(format!(
+                    "flow {} -> {d} sends to its own source; routing metrics \
+                     are undefined for self-flows",
+                    f.src
+                )));
+            }
+            if hops[d.0].is_none() {
+                return Err(BuildError::Unsupported(format!(
+                    "destination {d} is unreachable from source {} in topology \
+                     {}; no p > 0 path exists for route extraction",
+                    f.src, topo.name
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Runs one flow schedule to completion (or deadline) and measures it.
@@ -1506,5 +1565,82 @@ mod test {
         assert!(records
             .iter()
             .any(|r| r.protocol == "Srcr" && r.value == Some(16.0) && r.seed == 2));
+    }
+
+    /// Two disconnected 2-cliques.
+    fn split_topology() -> Topology {
+        let mut m = vec![vec![0.0; 4]; 4];
+        m[0][1] = 0.9;
+        m[1][0] = 0.9;
+        m[2][3] = 0.9;
+        m[3][2] = 0.9;
+        Topology::from_matrix("split", m)
+    }
+
+    #[test]
+    fn unreachable_pair_is_a_build_error_not_a_panic() {
+        let err = Scenario::named("partitioned")
+            .topology(TopologySpec::Fixed(std::sync::Arc::new(split_topology())))
+            .pair(NodeId(0), NodeId(3))
+            .protocol("Srcr")
+            .packets(4)
+            .try_run()
+            .expect_err("a cross-partition pair must surface as a BuildError");
+        match err {
+            BuildError::Unsupported(msg) => assert!(msg.contains("unreachable"), "{msg}"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_node_self_flow_is_a_build_error_not_a_panic() {
+        let lone = Topology::from_matrix("lone", vec![vec![0.0]]);
+        let err = Scenario::named("lone")
+            .topology(TopologySpec::Fixed(std::sync::Arc::new(lone)))
+            .pair(NodeId(0), NodeId(0))
+            .protocol("MORE")
+            .packets(4)
+            .try_run()
+            .expect_err("a single-node mesh cannot host a flow");
+        match err {
+            BuildError::Unsupported(msg) => assert!(msg.contains("own source"), "{msg}"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_topology_is_a_build_error_not_a_panic() {
+        let none = Topology::from_matrix("none", Vec::new());
+        let err = Scenario::named("empty")
+            .topology(TopologySpec::Fixed(std::sync::Arc::new(none)))
+            .pair(NodeId(0), NodeId(1))
+            .protocol("Srcr")
+            .packets(4)
+            .try_run()
+            .expect_err("an empty mesh must be rejected up front");
+        match err {
+            BuildError::Unsupported(msg) => assert!(msg.contains("no nodes"), "{msg}"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_endpoint_is_a_build_error_not_a_panic() {
+        let err = Scenario::named("oob")
+            .topology(TopologySpec::Line {
+                hops: 2,
+                p_adj: 0.9,
+                skip_decay: 0.3,
+                spacing: 25.0,
+            })
+            .pair(NodeId(0), NodeId(9))
+            .protocol("Srcr")
+            .packets(4)
+            .try_run()
+            .expect_err("an endpoint past n must be rejected");
+        match err {
+            BuildError::Unsupported(msg) => assert!(msg.contains("outside topology"), "{msg}"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
     }
 }

@@ -58,6 +58,7 @@
 pub mod builder;
 pub mod exec;
 pub mod manifest;
+mod pairs;
 pub mod protocols;
 pub mod record;
 pub mod registry;

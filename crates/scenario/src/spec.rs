@@ -131,6 +131,16 @@ pub enum TopologySpec {
         /// Source→forwarder and forwarder→destination delivery.
         p: f64,
     },
+    /// A city-scale sparse mesh (single floor, ~1250 m² per node) with
+    /// per-pair link streams — the 10k-node scaling workload. Unlike
+    /// [`TopologySpec::RandomMesh`] it never materializes a dense
+    /// matrix and never retries for connectivity.
+    City {
+        /// Node count.
+        n: usize,
+        /// Placement/link seed.
+        seed: u64,
+    },
     /// A fixed, caller-supplied topology.
     Fixed(Arc<Topology>),
     /// Arbitrary generator; receives the *run seed* so per-run topologies
@@ -151,6 +161,7 @@ impl std::fmt::Debug for TopologySpec {
                 write!(f, "RandomMesh{{n:{n},seed:{seed}}}")
             }
             TopologySpec::Diamond { k, p } => write!(f, "Diamond{{k:{k},p:{p}}}"),
+            TopologySpec::City { n, seed } => write!(f, "City{{n:{n},seed:{seed}}}"),
             TopologySpec::Fixed(t) => write!(f, "Fixed({})", t.name),
             TopologySpec::Custom(_) => write!(f, "Custom(..)"),
         }
@@ -184,6 +195,7 @@ impl TopologySpec {
                 seed,
             } => generate::random_mesh(*n, *width, *depth, *seed),
             TopologySpec::Diamond { k, p } => generate::diamond(*k, *p),
+            TopologySpec::City { n, seed } => generate::city_mesh(*n, *seed),
             TopologySpec::Fixed(t) => (**t).clone(),
             TopologySpec::Custom(f) => f(run_seed),
         }
@@ -321,17 +333,11 @@ impl TrafficSpec {
 
 /// All reachable ordered pairs of a topology, in node order — the one
 /// definition of "reachable pair" shared by pair sampling and the
-/// traffic models.
+/// traffic models. Materializes the full list (O(n²) on connected
+/// topologies); consumers that only *sample* pairs should use
+/// [`crate::pairs::PairPool`] and stay O(n).
 pub(crate) fn reachable_pairs(topo: &Topology) -> Vec<(NodeId, NodeId)> {
-    let mut all = Vec::new();
-    for s in topo.nodes() {
-        for d in topo.nodes() {
-            if s != d && topo.hop_count(s, d).is_some() {
-                all.push((s, d));
-            }
-        }
-    }
-    all
+    crate::pairs::PairPool::new(topo).materialize()
 }
 
 /// Deterministically samples `count` distinct reachable ordered pairs.

@@ -27,6 +27,7 @@
 //! draws, and a static workload stays byte-identical to the
 //! pre-traffic-model engine.
 
+use crate::pairs::PairPool;
 use crate::spec::{reachable_pairs, FlowSpec, TrafficSpec};
 use mesh_sim::{Time, SEC};
 use mesh_topology::{NodeId, Topology};
@@ -258,7 +259,11 @@ impl TrafficModel for PoissonModel {
     ) -> Vec<Vec<FlowEvent>> {
         assert!(self.rate_per_s > 0.0, "arrival rate must be positive");
         assert!(self.max_active > 0, "max_active must be at least 1");
-        let pool = reachable_pairs(topo);
+        // Lazy pool: Poisson samples a handful of the O(n²) reachable
+        // pairs, so the list is indexed — never materialized — keeping a
+        // 10k-node city run at O(n) traffic memory. Draw order and pair
+        // sequence match the materialized list exactly.
+        let mut pool = PairPool::new(topo);
         assert!(
             !pool.is_empty(),
             "topology {} has no reachable pairs",
@@ -277,8 +282,7 @@ impl TrafficModel for PoissonModel {
             active.retain(|&stop| stop > t);
             // Every arrival draws its endpoints and lifetime even when
             // blocked, so the accepted set only depends on the cap.
-            // xtask: allow(panic_path) -- gen_range(0..pool.len()) keeps the index in bounds, and the pool is validated non-empty at build
-            let (src, dst) = pool[rng.gen_range(0..pool.len())];
+            let (src, dst) = pool.get(rng.gen_range(0..pool.len()));
             let hold = exp_us(&mut rng, self.mean_hold_s).max(1);
             if active.len() >= self.max_active {
                 continue; // blocked arrival
@@ -527,13 +531,16 @@ impl TrafficModelSpec {
         match self {
             TrafficModelSpec::Static(_) | TrafficModelSpec::Custom(_) => Ok(()),
             TrafficModelSpec::Poisson { .. } => {
-                if reachable_pairs(topo).is_empty() {
+                // A reachable ordered pair exists iff any `p > 0` link
+                // does — O(1), where counting the pool would be O(n²)
+                // at city scale.
+                if topo.link_count() == 0 {
                     return Err(format!("topology {} has no reachable pairs", topo.name));
                 }
                 Ok(())
             }
             TrafficModelSpec::OnOff { n_flows, .. } => {
-                let pairs = reachable_pairs(topo).len();
+                let pairs = PairPool::new(topo).len();
                 if pairs < *n_flows {
                     return Err(format!(
                         "topology {} has {pairs} reachable pairs, fewer than the \
@@ -546,14 +553,12 @@ impl TrafficModelSpec {
             TrafficModelSpec::Staggered { n_flows, .. } => {
                 // The ramp needs n_flows distinct sources, each with at
                 // least one reachable destination.
-                let sources: std::collections::BTreeSet<NodeId> =
-                    reachable_pairs(topo).into_iter().map(|(s, _)| s).collect();
-                if sources.len() < *n_flows {
+                let sources = PairPool::new(topo).sources_with_destinations();
+                if sources < *n_flows {
                     return Err(format!(
                         "topology {} cannot host {n_flows} distinct-source flows \
-                         ({} sources reach anything)",
-                        topo.name,
-                        sources.len()
+                         ({sources} sources reach anything)",
+                        topo.name
                     ));
                 }
                 Ok(())
